@@ -1,0 +1,278 @@
+// Benchmarks: one per table and figure of the paper (run at reduced "quick"
+// scale so each iteration stays fast; `fluidibench all` regenerates the
+// full-scale artifacts), plus micro-benchmarks of the substrate (front end,
+// bytecode VM, simulation engine).
+//
+//	go test -bench=. -benchmem
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+
+	"fluidicl/internal/clc"
+	"fluidicl/internal/core"
+	"fluidicl/internal/device"
+	"fluidicl/internal/harness"
+	"fluidicl/internal/polybench"
+	"fluidicl/internal/sched"
+	"fluidicl/internal/sim"
+	"fluidicl/internal/vm"
+)
+
+// benchExperiment runs one harness experiment per iteration and reports a
+// headline cell as a custom metric.
+func benchExperiment(b *testing.B, id string, metric func(*harness.Table) (string, float64)) {
+	b.Helper()
+	r := harness.NewRunner()
+	r.Quick = true
+	var last *harness.Table
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := r.Run(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.StopTimer()
+	if metric != nil && last != nil {
+		name, v := metric(last)
+		b.ReportMetric(v, name)
+	}
+}
+
+func cell(t *harness.Table, row, col int) float64 {
+	v, err := strconv.ParseFloat(t.Rows[row][col], 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// ---- Figure 2: static allocation curves (2MM, SYRK) ----
+
+func BenchmarkFig2StaticSplit(b *testing.B) {
+	benchExperiment(b, "fig2", func(t *harness.Table) (string, float64) {
+		// SYRK at 100% GPU relative to its best split: > 1 means a mixed
+		// split wins, the figure's point.
+		return "syrk_100pct_vs_best", cell(t, len(t.Rows)-1, 2)
+	})
+}
+
+// ---- Figure 3: SYRK input-size-dependent best split ----
+
+func BenchmarkFig3SyrkInputs(b *testing.B) {
+	benchExperiment(b, "fig3", nil)
+}
+
+// ---- Table 1: BICG per-kernel device preference ----
+
+func BenchmarkTable1BicgKernels(b *testing.B) {
+	benchExperiment(b, "table1", nil)
+}
+
+// ---- Table 2: benchmark inventory ----
+
+func BenchmarkTable2Inventory(b *testing.B) {
+	benchExperiment(b, "table2", nil)
+}
+
+// ---- §9.1 overall figure ----
+
+func BenchmarkOverallPerformance(b *testing.B) {
+	benchExperiment(b, "fig13", func(t *harness.Table) (string, float64) {
+		return "fluidicl_geomean_vs_best", cell(t, len(t.Rows)-1, 3)
+	})
+}
+
+// ---- Figure 14 (§9.2): SYRK input sweep ----
+
+func BenchmarkFig14SyrkSweep(b *testing.B) {
+	benchExperiment(b, "fig14", func(t *harness.Table) (string, float64) {
+		return "fluidicl_geomean_vs_best", cell(t, len(t.Rows)-1, 3)
+	})
+}
+
+// ---- Figure 15 (§9.3): optimization ablation ----
+
+func BenchmarkFig15Optimizations(b *testing.B) {
+	benchExperiment(b, "fig15", func(t *harness.Table) (string, float64) {
+		return "nounroll_geomean_slowdown", cell(t, len(t.Rows)-1, 2)
+	})
+}
+
+// ---- Table 3 (§9.3): online profiling ----
+
+func BenchmarkTable3OnlineProfiling(b *testing.B) {
+	benchExperiment(b, "table3", nil)
+}
+
+// ---- Figure 16 (§9.4): SOCL comparison ----
+
+func BenchmarkFig16Socl(b *testing.B) {
+	benchExperiment(b, "fig16", func(t *harness.Table) (string, float64) {
+		return "eager_geomean_vs_best", cell(t, len(t.Rows)-1, 3)
+	})
+}
+
+// ---- Figure 17 (§9.5): chunk-size sensitivity ----
+
+func BenchmarkFig17ChunkSize(b *testing.B) {
+	benchExperiment(b, "fig17", nil)
+}
+
+// ---- Figure 18 (§9.5): step-size sensitivity ----
+
+func BenchmarkFig18StepSize(b *testing.B) {
+	benchExperiment(b, "fig18", nil)
+}
+
+// ---- per-benchmark FluidiCL executions (full default sizes) ----
+
+func BenchmarkFluidiCL(b *testing.B) {
+	for _, name := range []string{"2MM", "BICG", "CORR", "GESUMMV", "SYRK", "SYR2K"} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			m := sched.DefaultMachine()
+			var virt sim.Time
+			for i := 0; i < b.N; i++ {
+				bench, err := polybench.ByName(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := sched.RunFluidiCL(m, bench.App, core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := bench.Verify(res.Outputs); err != nil {
+					b.Fatal(err)
+				}
+				virt = res.Time
+			}
+			b.ReportMetric(virt*1e3, "virtual_ms")
+		})
+	}
+}
+
+// ---- substrate micro-benchmarks ----
+
+func BenchmarkLexer(b *testing.B) {
+	src := benchKernelSrc(64)
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		if _, err := clc.LexAll(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParser(b *testing.B) {
+	src := benchKernelSrc(64)
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		if _, err := clc.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSemaAndCompile(b *testing.B) {
+	src := benchKernelSrc(64)
+	for i := 0; i < b.N; i++ {
+		ki, err := clc.FindKernelInfo(src, "bench0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := vm.Compile(ki); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchKernelSrc generates a translation unit with n kernels.
+func benchKernelSrc(n int) string {
+	src := ""
+	for i := 0; i < n; i++ {
+		src += fmt.Sprintf(`
+__kernel void bench%d(__global float* a, __global float* out, int n) {
+    int i = get_global_id(0);
+    if (i < n) {
+        float s = 0.0f;
+        for (int k = 0; k < n; k++) {
+            s += a[i * n + k] * 0.5f + (float)k;
+        }
+        out[i] = s;
+    }
+}
+`, i)
+	}
+	return src
+}
+
+func BenchmarkVMThroughput(b *testing.B) {
+	k := vm.MustCompile(`
+__kernel void f(__global float* a, __global float* out, int n) {
+    int i = get_global_id(0);
+    float s = 0.0f;
+    for (int k = 0; k < n; k++) {
+        s += a[(i + k) % n] * 1.0001f;
+    }
+    out[i] = s;
+}
+`, "f")
+	n := 256
+	a := make([]byte, 4*n)
+	out := make([]byte, 4*n)
+	nd := vm.NewNDRange1D(n, 32)
+	args := []vm.Arg{vm.BufArg(a), vm.BufArg(out), vm.IntArg(int64(n))}
+	var st vm.Stats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := k.ExecLaunch(nd, args, vm.ExecOpts{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		st = s
+	}
+	b.StopTimer()
+	ops := st.IntOps + st.FloatOps + st.Branches + st.GlobalLoads + st.GlobalStores
+	b.ReportMetric(float64(ops), "vm_ops/iter")
+}
+
+func BenchmarkSimEngine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		env := sim.NewEnv()
+		for p := 0; p < 16; p++ {
+			env.Go("worker", func(pr *sim.Proc) {
+				for s := 0; s < 100; s++ {
+					pr.Sleep(1e-6)
+				}
+			})
+		}
+		env.Run()
+	}
+}
+
+func BenchmarkDeviceLaunch(b *testing.B) {
+	k := vm.MustCompile(`
+__kernel void f(__global float* a) {
+    int i = get_global_id(0);
+    a[i] = (float)i;
+}
+`, "f")
+	for i := 0; i < b.N; i++ {
+		env := sim.NewEnv()
+		d := device.New(env, device.TeslaC2070())
+		q := d.NewQueue("bench")
+		buf := make([]byte, 4*1024)
+		l := &device.Launch{Kernel: k, ND: vm.NewNDRange1D(1024, 64), Args: []vm.Arg{vm.BufArg(buf)}}
+		q.Enqueue(l)
+		env.Go("host", func(p *sim.Proc) { p.Wait(l.Done) })
+		env.Run()
+		if l.Result.Err != nil {
+			b.Fatal(l.Result.Err)
+		}
+	}
+}

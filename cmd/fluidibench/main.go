@@ -1,0 +1,289 @@
+// Command fluidibench regenerates the tables and figures of "Fluidic
+// Kernels: Cooperative Execution of OpenCL Programs on Multiple
+// Heterogeneous Devices" (CGO 2014) on the simulated machine.
+//
+// Usage:
+//
+//	fluidibench all                 # every experiment, paper order
+//	fluidibench fig13               # one experiment (see `fluidibench list`)
+//	fluidibench overall             # aliases accepted (overall = fig13)
+//	fluidibench -csv fig17          # CSV output
+//	fluidibench -quick all          # reduced workloads (smoke test)
+//	fluidibench run SYRK            # run one benchmark under every strategy
+//	fluidibench list                # list experiments and benchmarks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fluidicl/internal/core"
+	"fluidicl/internal/device"
+	"fluidicl/internal/harness"
+	"fluidicl/internal/polybench"
+	"fluidicl/internal/sched"
+	"fluidicl/internal/sim"
+)
+
+func main() {
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	quick := flag.Bool("quick", false, "use reduced workload sizes")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	r := harness.NewRunner()
+	r.Quick = *quick
+
+	switch args[0] {
+	case "list":
+		fmt.Println("experiments (in paper order):")
+		for _, id := range harness.ExperimentIDs {
+			fmt.Printf("  %s\n", id)
+		}
+		fmt.Println("extra experiments (beyond the paper):")
+		for _, id := range harness.ExtraExperimentIDs {
+			fmt.Printf("  %s\n", id)
+		}
+		fmt.Println("benchmarks (paper's Table 2 set):")
+		for _, b := range polybench.All() {
+			fmt.Printf("  %-8s input %-16s %d kernel(s)\n", b.Name, b.InputDesc, len(b.App.Launches))
+		}
+		fmt.Println("extra benchmarks:")
+		for _, b := range polybench.Extras() {
+			fmt.Printf("  %-8s input %-16s %d kernel(s)\n", b.Name, b.InputDesc, len(b.App.Launches))
+		}
+		return
+	case "all":
+		tables, err := r.All()
+		for _, t := range tables {
+			emit(t, *csv)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		return
+	case "run":
+		if len(args) < 2 {
+			fatal(fmt.Errorf("usage: fluidibench run <benchmark>"))
+		}
+		if err := runOne(args[1]); err != nil {
+			fatal(err)
+		}
+		return
+	case "dump":
+		if len(args) < 2 {
+			fatal(fmt.Errorf("usage: fluidibench dump <benchmark>"))
+		}
+		if err := dumpOne(args[1]); err != nil {
+			fatal(err)
+		}
+		return
+	case "trace":
+		if len(args) < 2 {
+			fatal(fmt.Errorf("usage: fluidibench trace <benchmark>"))
+		}
+		if err := traceOne(args[1]); err != nil {
+			fatal(err)
+		}
+		return
+	default:
+		t, err := r.Run(args[0])
+		if err != nil {
+			fatal(err)
+		}
+		emit(t, *csv)
+	}
+}
+
+func emit(t *harness.Table, csv bool) {
+	if csv {
+		fmt.Print(t.CSV())
+	} else {
+		fmt.Println(t.String())
+	}
+}
+
+// runOne executes one benchmark under every strategy and prints a summary.
+func runOne(name string) error {
+	b, err := polybench.ByName(name)
+	if err != nil {
+		return err
+	}
+	m := sched.DefaultMachine()
+	fresh := func() *polybench.Benchmark {
+		nb, _ := polybench.ByName(name)
+		return nb
+	}
+
+	type row struct {
+		label string
+		run   func() (*sched.Result, error)
+	}
+	rows := []row{
+		{"CPU-only", func() (*sched.Result, error) { return sched.RunSingle(m.CPU, fresh().App) }},
+		{"GPU-only", func() (*sched.Result, error) { return sched.RunSingle(m.GPU, fresh().App) }},
+		{"Static 50/50", func() (*sched.Result, error) { return sched.RunStatic(m, fresh().App, 50) }},
+		{"SOCL eager", func() (*sched.Result, error) { return sched.RunSocl(m, fresh().App, sched.Eager, nil) }},
+		{"SOCL dmda", func() (*sched.Result, error) {
+			app := fresh().App
+			model, err := sched.CalibrateDmda(m, app)
+			if err != nil {
+				return nil, err
+			}
+			return sched.RunSocl(m, app, sched.Dmda, model)
+		}},
+		{"FluidiCL", func() (*sched.Result, error) { return sched.RunFluidiCL(m, fresh().App, core.Options{}) }},
+	}
+	fmt.Printf("benchmark %s, input %s, %d kernel(s)\n", b.Name, b.InputDesc, len(b.App.Launches))
+	for _, r := range rows {
+		res, err := r.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.label, err)
+		}
+		if err := b.Verify(res.Outputs); err != nil {
+			return fmt.Errorf("%s: wrong results: %w", r.label, err)
+		}
+		fmt.Printf("  %-12s %10.3f ms  (results verified)\n", r.label, res.Time*1e3)
+		for _, rep := range res.Reports {
+			fmt.Printf("    kernel %-16s wgs=%4d gpu=%4d (skip %d, abort %d) cpu=%4d in %d subkernel(s)%s\n",
+				rep.Name, rep.TotalWGs, rep.GPUExecuted, rep.GPUSkipped, rep.GPUAborted,
+				rep.CPUWGs, rep.Subkernels, didAll(rep.CPUDidAll))
+		}
+	}
+	return nil
+}
+
+func didAll(b bool) string {
+	if b {
+		return "  [CPU completed entire NDRange]"
+	}
+	return ""
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `fluidibench — regenerate the FluidiCL paper's tables and figures
+
+usage:
+  fluidibench [-csv] [-quick] <experiment>|all
+  fluidibench run <benchmark>     # one benchmark under every strategy
+  fluidibench trace <benchmark>   # cooperative-execution timeline
+  fluidibench dump <benchmark>    # transformed sources + bytecode disassembly
+  fluidibench list
+
+experiments: %v
+extras: %v
+`, harness.ExperimentIDs, harness.ExtraExperimentIDs)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fluidibench:", err)
+	os.Exit(1)
+}
+
+// dumpOne shows what FluidiCL's compilation pipeline produces for a
+// benchmark: the transformed GPU and CPU sources (the source-to-source
+// passes' output) and the GPU bytecode disassembly of each kernel.
+func dumpOne(name string) error {
+	b, err := polybench.ByName(name)
+	if err != nil {
+		return err
+	}
+	env := sim.NewEnv()
+	m := sched.DefaultMachine()
+	rt, err := core.New(env, device.New(env, m.CPU), device.New(env, m.GPU), core.Options{})
+	if err != nil {
+		return err
+	}
+	prog, err := rt.BuildProgram(b.App.Source)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("benchmark %s — original source:\n%s\n", b.Name, b.App.Source)
+	fmt.Printf("==== transformed GPU source (abort checks, unrolled in-loop checks) ====\n%s\n", prog.GPUSrc)
+	fmt.Printf("==== transformed CPU source (subkernel range guards) ====\n%s\n", prog.CPUSrc)
+	seen := map[string]bool{}
+	for _, l := range b.App.Launches {
+		if seen[l.Kernel] {
+			continue
+		}
+		seen[l.Kernel] = true
+		k, err := prog.CreateKernel(l.Kernel)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("==== GPU bytecode: %s ====\n%s\n", l.Kernel, k.DisasmGPU())
+	}
+	return nil
+}
+
+// traceOne runs one benchmark under FluidiCL with event tracing and prints
+// the cooperative-execution timeline.
+func traceOne(name string) error {
+	b, err := polybench.ByName(name)
+	if err != nil {
+		return err
+	}
+	env := sim.NewEnv()
+	m := sched.DefaultMachine()
+	rt, err := core.New(env, device.New(env, m.CPU), device.New(env, m.GPU), core.Options{})
+	if err != nil {
+		return err
+	}
+	tr := rt.EnableTrace()
+	prog, err := rt.BuildProgram(b.App.Source)
+	if err != nil {
+		return err
+	}
+	bufs := map[string]*core.Buffer{}
+	for bn, size := range b.App.Buffers {
+		bufs[bn] = rt.CreateBuffer(size)
+	}
+	kernels := map[string]*core.Kernel{}
+	var runErr error
+	env.Go("app", func(p *sim.Proc) {
+		for bn, buf := range bufs {
+			data := b.App.Inputs[bn]
+			if data == nil {
+				data = make([]byte, b.App.Buffers[bn])
+			}
+			rt.EnqueueWriteBuffer(p, buf, data)
+		}
+		for _, l := range b.App.Launches {
+			k := kernels[l.Kernel]
+			if k == nil {
+				k = prog.MustKernel(l.Kernel)
+				kernels[l.Kernel] = k
+			}
+			args := make([]core.Arg, len(l.Args))
+			for i, a := range l.Args {
+				switch a.Kind {
+				case sched.ArgBuf:
+					args[i] = core.BufArg(bufs[a.Name])
+				case sched.ArgInt:
+					args[i] = core.IntArg(a.I)
+				default:
+					args[i] = core.FloatArg(a.F)
+				}
+			}
+			if err := rt.EnqueueNDRangeKernel(p, k, l.ND, args); err != nil {
+				runErr = err
+				return
+			}
+		}
+		for _, bn := range b.App.Outputs {
+			rt.EnqueueReadBuffer(p, bufs[bn])
+		}
+	})
+	env.Run()
+	if runErr != nil {
+		return runErr
+	}
+	fmt.Printf("cooperative-execution timeline for %s %s:\n\n%s", b.Name, b.InputDesc, tr)
+	return nil
+}

@@ -1,0 +1,3 @@
+module fluidicl
+
+go 1.22

@@ -1,0 +1,132 @@
+package clc
+
+// Deep-clone helpers. Transformation passes duplicate condition and body
+// subtrees (e.g. loop unrolling), and AST nodes must not be shared between
+// two parents because sema mutates nodes in place.
+
+// CloneExpr returns a deep copy of e.
+func CloneExpr(e Expr) Expr {
+	switch e := e.(type) {
+	case nil:
+		return nil
+	case *Ident:
+		c := *e
+		return &c
+	case *IntLit:
+		c := *e
+		return &c
+	case *FloatLit:
+		c := *e
+		return &c
+	case *BoolLit:
+		c := *e
+		return &c
+	case *BinaryExpr:
+		c := *e
+		c.X = CloneExpr(e.X)
+		c.Y = CloneExpr(e.Y)
+		return &c
+	case *UnaryExpr:
+		c := *e
+		c.X = CloneExpr(e.X)
+		return &c
+	case *CondExpr:
+		c := *e
+		c.Cond = CloneExpr(e.Cond)
+		c.Then = CloneExpr(e.Then)
+		c.Else = CloneExpr(e.Else)
+		return &c
+	case *CallExpr:
+		c := *e
+		c.Args = make([]Expr, len(e.Args))
+		for i, a := range e.Args {
+			c.Args[i] = CloneExpr(a)
+		}
+		return &c
+	case *IndexExpr:
+		c := *e
+		c.Base = CloneExpr(e.Base).(*Ident)
+		c.Idx = CloneExpr(e.Idx)
+		return &c
+	case *CastExpr:
+		c := *e
+		c.X = CloneExpr(e.X)
+		return &c
+	}
+	panic("clc: CloneExpr: unknown node")
+}
+
+// CloneStmt returns a deep copy of s.
+func CloneStmt(s Stmt) Stmt {
+	switch s := s.(type) {
+	case nil:
+		return nil
+	case *Block:
+		return CloneBlock(s)
+	case *DeclStmt:
+		c := *s
+		c.ArrayLen = CloneExpr(s.ArrayLen)
+		c.Init = CloneExpr(s.Init)
+		return &c
+	case *AssignStmt:
+		c := *s
+		c.LHS = CloneExpr(s.LHS)
+		c.RHS = CloneExpr(s.RHS)
+		return &c
+	case *ExprStmt:
+		c := *s
+		c.X = CloneExpr(s.X)
+		return &c
+	case *IfStmt:
+		c := *s
+		c.Cond = CloneExpr(s.Cond)
+		c.Then = CloneBlock(s.Then)
+		c.Else = CloneStmt(s.Else)
+		return &c
+	case *ForStmt:
+		c := *s
+		c.Init = CloneStmt(s.Init)
+		c.Cond = CloneExpr(s.Cond)
+		c.Post = CloneStmt(s.Post)
+		c.Body = CloneBlock(s.Body)
+		return &c
+	case *WhileStmt:
+		c := *s
+		c.Cond = CloneExpr(s.Cond)
+		c.Body = CloneBlock(s.Body)
+		return &c
+	case *ReturnStmt:
+		c := *s
+		return &c
+	case *BreakStmt:
+		c := *s
+		return &c
+	case *ContinueStmt:
+		c := *s
+		return &c
+	}
+	panic("clc: CloneStmt: unknown node")
+}
+
+// CloneBlock returns a deep copy of b.
+func CloneBlock(b *Block) *Block {
+	if b == nil {
+		return nil
+	}
+	c := &Block{Pos: b.Pos, Stmts: make([]Stmt, len(b.Stmts))}
+	for i, s := range b.Stmts {
+		c.Stmts[i] = CloneStmt(s)
+	}
+	return c
+}
+
+// CloneKernel returns a deep copy of k.
+func CloneKernel(k *Kernel) *Kernel {
+	c := &Kernel{Pos: k.Pos, Name: k.Name, Body: CloneBlock(k.Body)}
+	c.Params = make([]*Param, len(k.Params))
+	for i, p := range k.Params {
+		cp := *p
+		c.Params[i] = &cp
+	}
+	return c
+}

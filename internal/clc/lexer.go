@@ -1,0 +1,253 @@
+package clc
+
+import (
+	"strings"
+)
+
+// Lexer turns MiniCL source text into tokens.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer creates a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isAlpha(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// skipSpace consumes whitespace and comments. It returns an error for an
+// unterminated block comment.
+func (l *Lexer) skipSpace() error {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return errf(start, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpace(); err != nil {
+		return Token{}, err
+	}
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: EOF, Pos: pos}, nil
+	}
+	c := l.peek()
+
+	switch {
+	case isAlpha(c):
+		start := l.off
+		for l.off < len(l.src) && (isAlpha(l.peek()) || isDigit(l.peek())) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		if k, ok := keywords[text]; ok {
+			return Token{Kind: k, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: IDENT, Text: text, Pos: pos}, nil
+
+	case isDigit(c) || (c == '.' && isDigit(l.peek2())):
+		start := l.off
+		isFloat := false
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+		if l.peek() == '.' {
+			isFloat = true
+			l.advance()
+			for l.off < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		}
+		if l.peek() == 'e' || l.peek() == 'E' {
+			isFloat = true
+			l.advance()
+			if l.peek() == '+' || l.peek() == '-' {
+				l.advance()
+			}
+			if !isDigit(l.peek()) {
+				return Token{}, errf(pos, "malformed float exponent")
+			}
+			for l.off < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		}
+		text := l.src[start:l.off]
+		// OpenCL-style 'f' / 'F' suffix.
+		if l.peek() == 'f' || l.peek() == 'F' {
+			isFloat = true
+			l.advance()
+		}
+		if isFloat {
+			return Token{Kind: FLOATLIT, Text: strings.TrimSuffix(strings.TrimSuffix(text, "f"), "F"), Pos: pos}, nil
+		}
+		return Token{Kind: INTLIT, Text: text, Pos: pos}, nil
+	}
+
+	two := func(k Kind) (Token, error) {
+		t := string(l.advance()) + string(l.advance())
+		return Token{Kind: k, Text: t, Pos: pos}, nil
+	}
+	one := func(k Kind) (Token, error) {
+		return Token{Kind: k, Text: string(l.advance()), Pos: pos}, nil
+	}
+
+	switch c {
+	case '(':
+		return one(LPAREN)
+	case ')':
+		return one(RPAREN)
+	case '{':
+		return one(LBRACE)
+	case '}':
+		return one(RBRACE)
+	case '[':
+		return one(LBRACKET)
+	case ']':
+		return one(RBRACKET)
+	case ',':
+		return one(COMMA)
+	case ';':
+		return one(SEMI)
+	case '?':
+		return one(QUESTION)
+	case ':':
+		return one(COLON)
+	case '+':
+		if l.peek2() == '+' {
+			return two(PLUSPLUS)
+		}
+		if l.peek2() == '=' {
+			return two(PLUSEQ)
+		}
+		return one(PLUS)
+	case '-':
+		if l.peek2() == '-' {
+			return two(MINUSMINUS)
+		}
+		if l.peek2() == '=' {
+			return two(MINUSEQ)
+		}
+		return one(MINUS)
+	case '*':
+		if l.peek2() == '=' {
+			return two(STAREQ)
+		}
+		return one(STAR)
+	case '/':
+		if l.peek2() == '=' {
+			return two(SLASHEQ)
+		}
+		return one(SLASH)
+	case '%':
+		return one(PERCENT)
+	case '=':
+		if l.peek2() == '=' {
+			return two(EQ)
+		}
+		return one(ASSIGN)
+	case '!':
+		if l.peek2() == '=' {
+			return two(NEQ)
+		}
+		return one(NOT)
+	case '<':
+		if l.peek2() == '=' {
+			return two(LEQ)
+		}
+		return one(LT)
+	case '>':
+		if l.peek2() == '=' {
+			return two(GEQ)
+		}
+		return one(GT)
+	case '&':
+		if l.peek2() == '&' {
+			return two(ANDAND)
+		}
+	case '|':
+		if l.peek2() == '|' {
+			return two(OROR)
+		}
+	}
+	return Token{}, errf(pos, "unexpected character %q", string(c))
+}
+
+// LexAll tokenizes the whole input (EOF token excluded).
+func LexAll(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == EOF {
+			return toks, nil
+		}
+		toks = append(toks, t)
+	}
+}

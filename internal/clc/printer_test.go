@@ -1,0 +1,294 @@
+package clc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrintGoldenSimple(t *testing.T) {
+	src := `
+__kernel void f(__global float* a, int n) {
+    int i = get_global_id(0);
+    if (i < n) {
+        a[i] = 2.0f;
+    }
+}
+`
+	prog := MustParse(src)
+	got := Print(prog)
+	want := `__kernel void f(__global float* a, int n)
+{
+    int i = get_global_id(0);
+    if ((i < n))
+    {
+        a[i] = 2.0f;
+    }
+}
+`
+	if got != want {
+		t.Fatalf("golden mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestPrintForLoopForms(t *testing.T) {
+	src := `
+__kernel void f(__global int* a, int n) {
+    for (int i = 0; i < n; i++) { a[i] = i; }
+    int j = 0;
+    for (; j < n; j += 2) { }
+    for (;;) { break; }
+    while (j > 0) { j--; }
+}
+`
+	prog := MustParse(src)
+	out := Print(prog)
+	for _, frag := range []string{
+		"for (int i = 0; (i < n); i = (i + 1))",
+		"for (; (j < n); j += 2)",
+		"for (; ; )",
+		"while ((j > 0))",
+		"break;",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("printed output missing %q:\n%s", frag, out)
+		}
+	}
+	// Must re-parse and re-check cleanly.
+	prog2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, out)
+	}
+	if _, err := Check(prog2); err != nil {
+		t.Fatalf("re-check: %v", err)
+	}
+}
+
+func TestPrintLocalAndPrivateArrays(t *testing.T) {
+	src := `
+__kernel void f(__global float* a) {
+    __local float tile[32];
+    float tmp[4];
+    int l = get_local_id(0);
+    tile[l] = a[l];
+    tmp[0] = tile[l];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    a[l] = tmp[0];
+}
+`
+	out := Print(MustParse(src))
+	for _, frag := range []string{"__local float tile[32];", "float tmp[4];", "barrier(CLK_LOCAL_MEM_FENCE);"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("missing %q in:\n%s", frag, out)
+		}
+	}
+	if _, err := Parse(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrintFloatLiteralsSurviveRoundTrip(t *testing.T) {
+	cases := []float64{0, 1, 0.5, 3.14159, 1e-7, 2.5e10, 123456.789}
+	for _, v := range cases {
+		e := &FloatLit{Val: v}
+		s := ExprString(e)
+		prog, err := Parse("__kernel void f(__global float* a) { a[0] = " + s + "; }")
+		if err != nil {
+			t.Fatalf("%v printed as %q does not parse: %v", v, s, err)
+		}
+		asn := prog.Kernels[0].Body.Stmts[0].(*AssignStmt)
+		got := asn.RHS.(*FloatLit).Val
+		if got != v {
+			t.Fatalf("%v -> %q -> %v: value changed", v, s, got)
+		}
+	}
+	// Negative literals print as a unary minus over a positive literal.
+	neg := ExprString(&FloatLit{Val: -2.5})
+	prog, err := Parse("__kernel void f(__global float* a) { a[0] = " + neg + "; }")
+	if err != nil {
+		t.Fatalf("%q does not parse: %v", neg, err)
+	}
+	u, ok := prog.Kernels[0].Body.Stmts[0].(*AssignStmt).RHS.(*UnaryExpr)
+	if !ok || u.Op != MINUS || u.X.(*FloatLit).Val != 2.5 {
+		t.Fatalf("negative literal round trip broken: %q", neg)
+	}
+}
+
+func TestExprStringPrecedenceSafety(t *testing.T) {
+	// The printer parenthesizes everything, so operator precedence can
+	// never change across a print/parse round trip.
+	src := `__kernel void f(__global int* a, int x, int y, int z) { a[0] = x + y * z - x / y; }`
+	prog := MustParse(src)
+	printed := Print(prog)
+	prog2, err := Parse(printed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1 := ExprString(prog.Kernels[0].Body.Stmts[0].(*AssignStmt).RHS)
+	a2 := ExprString(prog2.Kernels[0].Body.Stmts[0].(*AssignStmt).RHS)
+	if a1 != a2 {
+		t.Fatalf("expression changed across round trip: %s vs %s", a1, a2)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	src := `
+__kernel void f(__global float* a, int n) {
+    for (int i = 0; i < n; i++) {
+        if (i > 2) { a[i] = (float)i * 2.0f; } else { a[i] = 0.0f; }
+    }
+}
+`
+	prog := MustParse(src)
+	k := prog.Kernels[0]
+	c := CloneKernel(k)
+	before := PrintKernel(k)
+	// Mutate the clone thoroughly.
+	c.Name = "g"
+	c.Params[0].Name = "zzz"
+	loop := c.Body.Stmts[0].(*ForStmt)
+	loop.Cond = &BoolLit{Val: false}
+	loop.Body.Stmts = nil
+	after := PrintKernel(k)
+	if before != after {
+		t.Fatalf("mutating clone changed original:\n%s\nvs\n%s", before, after)
+	}
+	if PrintKernel(c) == before {
+		t.Fatal("clone did not change")
+	}
+}
+
+func TestCloneStmtCoversAllNodes(t *testing.T) {
+	src := `
+__kernel void f(__global float* a, __global int* b, int n, float x) {
+    int i = get_global_id(0);
+    float tmp[2];
+    __local int sh[4];
+    if (i < n && x > 0.0f) { a[i] = x; } else if (i == 0) { a[0] = 1.0f; }
+    for (int k = 0; k < n; k++) {
+        while (k < 2) { k++; continue; }
+        b[i] = (k > 1) ? k : -k;
+        tmp[0] += fmin(x, 1.0f);
+        sh[i % 4] = abs(i);
+        if (k == 3) { break; }
+    }
+    barrier();
+    return;
+}
+`
+	prog := MustParse(src)
+	k := prog.Kernels[0]
+	c := CloneKernel(k)
+	if PrintKernel(c) != PrintKernel(k) {
+		t.Fatal("clone prints differently")
+	}
+}
+
+func TestLexerNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		_, _ = LexAll(s) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParserNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		_, _ = Parse(s) // must not panic
+		_, _ = Parse("__kernel void f() { " + s + " }")
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSemaMoreTypeRules(t *testing.T) {
+	valid := []string{
+		`__kernel void f(__global float* a, int n) { a[0] = (n > 0) ? 1.0f : 0.5f; }`,
+		`__kernel void f(int n) { int b = n > 3; }`,              // bool -> int conversion
+		`__kernel void f(float x) { if (x) { } }`,                // float condition
+		`__kernel void f(int n) { float y = n; }`,                // implicit int -> float
+		`__kernel void f(__global int* a, bool b) { a[b] = 1; }`, // bool index converts
+		`__kernel void f() { int x = true + 2; }`,                // bool promotes in arithmetic
+		`__kernel void f(const __global float* a, __global float* o) { o[0] = a[0]; }`,
+	}
+	for _, src := range valid {
+		prog, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if _, err := Check(prog); err != nil {
+			t.Fatalf("check %q: %v", src, err)
+		}
+	}
+	invalid := []string{
+		`__kernel void f(__global float* a, __global float* b) { float x = a + b; }`, // pointer arithmetic
+		`__kernel void f(__global float* a) { if (a) { } }`,                          // pointer condition
+		`__kernel void f() { barrier(1, 2); }`,                                       // too many args
+		`__kernel void f() { sqrt(); }`,                                              // missing args
+		`__kernel void f(__global float* a) { a[1.5f] = 0.0f; }`,                     // float index
+		`__kernel void f() { continue; }`,                                            // outside loop
+	}
+	for _, src := range invalid {
+		prog, err := Parse(src)
+		if err != nil {
+			continue
+		}
+		if _, err := Check(prog); err == nil {
+			t.Fatalf("no error for %q", src)
+		}
+	}
+}
+
+func TestLoopDepthTracking(t *testing.T) {
+	src := `
+__kernel void f(__global int* a, int n) {
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < n; j++) {
+            while (j < 3) { j++; }
+        }
+    }
+}
+`
+	ki, err := FindKernelInfo(src, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ki.LoopDepth != 3 {
+		t.Fatalf("LoopDepth = %d, want 3", ki.LoopDepth)
+	}
+}
+
+func TestTypeStringForms(t *testing.T) {
+	cases := map[string]Type{
+		"int":             ScalarType(Int),
+		"float":           ScalarType(Float),
+		"bool":            ScalarType(Bool),
+		"__global float*": PointerType(Float, SpaceGlobal),
+		"__local int*":    PointerType(Int, SpaceLocal),
+	}
+	for want, ty := range cases {
+		got := strings.ReplaceAll(ty.String(), " *", "*")
+		if got != want {
+			t.Fatalf("Type.String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestPosReporting(t *testing.T) {
+	src := "__kernel void f() {\n    int x = bogus;\n}"
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Check(prog)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "2:") {
+		t.Fatalf("error %q does not point at line 2", err)
+	}
+}

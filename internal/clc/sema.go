@@ -1,0 +1,703 @@
+package clc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Builtin describes a MiniCL builtin function signature.
+type Builtin struct {
+	Name   string
+	Params []ScalarKind
+	Result ScalarKind
+}
+
+// builtins is the MiniCL builtin function table: the OpenCL work-item
+// functions plus a small math library.
+var builtins = map[string]Builtin{
+	"get_global_id":     {"get_global_id", []ScalarKind{Int}, Int},
+	"get_local_id":      {"get_local_id", []ScalarKind{Int}, Int},
+	"get_group_id":      {"get_group_id", []ScalarKind{Int}, Int},
+	"get_num_groups":    {"get_num_groups", []ScalarKind{Int}, Int},
+	"get_local_size":    {"get_local_size", []ScalarKind{Int}, Int},
+	"get_global_size":   {"get_global_size", []ScalarKind{Int}, Int},
+	"get_global_offset": {"get_global_offset", []ScalarKind{Int}, Int},
+	"get_work_dim":      {"get_work_dim", nil, Int},
+	"barrier":           {"barrier", []ScalarKind{Int}, Void},
+	"sqrt":              {"sqrt", []ScalarKind{Float}, Float},
+	"fabs":              {"fabs", []ScalarKind{Float}, Float},
+	"exp":               {"exp", []ScalarKind{Float}, Float},
+	"log":               {"log", []ScalarKind{Float}, Float},
+	"floor":             {"floor", []ScalarKind{Float}, Float},
+	"ceil":              {"ceil", []ScalarKind{Float}, Float},
+	"pow":               {"pow", []ScalarKind{Float, Float}, Float},
+	"fmin":              {"fmin", []ScalarKind{Float, Float}, Float},
+	"fmax":              {"fmax", []ScalarKind{Float, Float}, Float},
+	"min":               {"min", []ScalarKind{Int, Int}, Int},
+	"max":               {"max", []ScalarKind{Int, Int}, Int},
+	"abs":               {"abs", []ScalarKind{Int}, Int},
+}
+
+// builtinConsts are predefined integer constants (barrier fence flags).
+var builtinConsts = map[string]int64{
+	"CLK_LOCAL_MEM_FENCE":  1,
+	"CLK_GLOBAL_MEM_FENCE": 2,
+}
+
+// ParamAccess records how a kernel accesses a pointer parameter; FluidiCL
+// uses it to classify buffers as in, out or inout (paper §4.1: "out or
+// inout variables which can be identified using simple compiler analysis at
+// the whole variable level").
+type ParamAccess struct {
+	Read    bool
+	Written bool
+}
+
+// In reports a read-only parameter.
+func (a ParamAccess) In() bool { return a.Read && !a.Written }
+
+// Out reports a write-only parameter.
+func (a ParamAccess) Out() bool { return a.Written && !a.Read }
+
+// InOut reports a read-write parameter.
+func (a ParamAccess) InOut() bool { return a.Read && a.Written }
+
+// KernelInfo is the result of semantic analysis for one kernel.
+type KernelInfo struct {
+	Kernel      *Kernel
+	ParamAccess map[string]*ParamAccess // pointer parameters only
+	HasBarrier  bool
+	LocalArrays []string // names of __local array declarations
+	LoopDepth   int      // maximum loop nesting depth
+}
+
+// WrittenParams returns the names of pointer parameters the kernel writes
+// (out or inout), in declaration order.
+func (ki *KernelInfo) WrittenParams() []string {
+	var out []string
+	for _, p := range ki.Kernel.Params {
+		if a, ok := ki.ParamAccess[p.Name]; ok && a.Written {
+			out = append(out, p.Name)
+		}
+	}
+	return out
+}
+
+// ProgramInfo is the result of semantic analysis for a translation unit.
+type ProgramInfo struct {
+	Kernels map[string]*KernelInfo
+}
+
+// scope is a lexical scope mapping names to types.
+type scope struct {
+	parent *scope
+	vars   map[string]Type
+}
+
+func (s *scope) lookup(name string) (Type, bool) {
+	for sc := s; sc != nil; sc = sc.parent {
+		if t, ok := sc.vars[name]; ok {
+			return t, true
+		}
+	}
+	return Type{}, false
+}
+
+func (s *scope) declare(name string, t Type) bool {
+	if _, exists := s.vars[name]; exists {
+		return false
+	}
+	s.vars[name] = t
+	return true
+}
+
+type checker struct {
+	info      *KernelInfo
+	scope     *scope
+	loopDepth int
+}
+
+// Check type-checks the program, inserts implicit conversions as CastExpr
+// nodes, and computes per-kernel access information. It must be re-run
+// after AST transformation passes so the compiler sees typed nodes.
+func Check(p *Program) (*ProgramInfo, error) {
+	pi := &ProgramInfo{Kernels: make(map[string]*KernelInfo)}
+	seen := make(map[string]bool)
+	for _, k := range p.Kernels {
+		if seen[k.Name] {
+			return nil, errf(k.Pos, "kernel %q redefined", k.Name)
+		}
+		seen[k.Name] = true
+		ki, err := checkKernel(k)
+		if err != nil {
+			return nil, err
+		}
+		pi.Kernels[k.Name] = ki
+	}
+	return pi, nil
+}
+
+// CheckKernel type-checks a single kernel in isolation.
+func CheckKernel(k *Kernel) (*KernelInfo, error) { return checkKernel(k) }
+
+func checkKernel(k *Kernel) (*KernelInfo, error) {
+	c := &checker{
+		info: &KernelInfo{
+			Kernel:      k,
+			ParamAccess: make(map[string]*ParamAccess),
+		},
+		scope: &scope{vars: make(map[string]Type)},
+	}
+	for _, p := range k.Params {
+		if !c.scope.declare(p.Name, p.Ty) {
+			return nil, errf(p.Pos, "duplicate parameter %q", p.Name)
+		}
+		if p.Ty.Ptr {
+			c.info.ParamAccess[p.Name] = &ParamAccess{}
+		}
+	}
+	if err := c.checkBlock(k.Body, false); err != nil {
+		return nil, err
+	}
+	return c.info, nil
+}
+
+func (c *checker) pushScope() { c.scope = &scope{parent: c.scope, vars: make(map[string]Type)} }
+func (c *checker) popScope()  { c.scope = c.scope.parent }
+
+func (c *checker) checkBlock(b *Block, newScope bool) error {
+	if newScope {
+		c.pushScope()
+		defer c.popScope()
+	}
+	for _, s := range b.Stmts {
+		if err := c.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s Stmt) error {
+	switch s := s.(type) {
+	case *Block:
+		return c.checkBlock(s, true)
+	case *DeclStmt:
+		return c.checkDecl(s)
+	case *AssignStmt:
+		return c.checkAssign(s)
+	case *ExprStmt:
+		t, err := c.checkExpr(s.X)
+		if err != nil {
+			return err
+		}
+		if call, ok := s.X.(*CallExpr); !ok || call.Name != "barrier" {
+			if t.Kind == Void {
+				return nil
+			}
+			// Permit other expressions for effect-free evaluation; they are
+			// legal C but almost always a mistake in kernels.
+		}
+		return nil
+	case *IfStmt:
+		if err := c.checkCond(s.Cond); err != nil {
+			return err
+		}
+		if err := c.checkBlock(s.Then, true); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return c.checkStmt(s.Else)
+		}
+		return nil
+	case *ForStmt:
+		c.pushScope()
+		defer c.popScope()
+		if s.Init != nil {
+			if err := c.checkStmt(s.Init); err != nil {
+				return err
+			}
+		}
+		if s.Cond != nil {
+			if err := c.checkCond(s.Cond); err != nil {
+				return err
+			}
+		}
+		if s.Post != nil {
+			if err := c.checkStmt(s.Post); err != nil {
+				return err
+			}
+		}
+		c.loopDepth++
+		if c.loopDepth > c.info.LoopDepth {
+			c.info.LoopDepth = c.loopDepth
+		}
+		err := c.checkBlock(s.Body, true)
+		c.loopDepth--
+		return err
+	case *WhileStmt:
+		if err := c.checkCond(s.Cond); err != nil {
+			return err
+		}
+		c.loopDepth++
+		if c.loopDepth > c.info.LoopDepth {
+			c.info.LoopDepth = c.loopDepth
+		}
+		err := c.checkBlock(s.Body, true)
+		c.loopDepth--
+		return err
+	case *ReturnStmt:
+		return nil
+	case *BreakStmt, *ContinueStmt:
+		if c.loopDepth == 0 {
+			return errf(s.NodePos(), "break/continue outside loop")
+		}
+		return nil
+	}
+	return errf(s.NodePos(), "unknown statement %T", s)
+}
+
+func (c *checker) checkDecl(d *DeclStmt) error {
+	if d.Elem == Void {
+		return errf(d.Pos, "cannot declare void variable")
+	}
+	if d.ArrayLen != nil {
+		if _, err := c.checkExpr(d.ArrayLen); err != nil {
+			return err
+		}
+		n, ok := ConstEval(d.ArrayLen)
+		if !ok || n <= 0 {
+			return errf(d.Pos, "array length of %q must be a positive integer constant", d.Name)
+		}
+		if d.Space == SpaceNone {
+			d.Space = SpacePrivate
+		}
+		if d.Space == SpaceGlobal {
+			return errf(d.Pos, "cannot declare __global array %q in kernel body", d.Name)
+		}
+		if d.Space == SpaceLocal {
+			c.info.LocalArrays = append(c.info.LocalArrays, d.Name)
+		}
+		if !c.scope.declare(d.Name, PointerType(d.Elem, d.Space)) {
+			return errf(d.Pos, "redeclaration of %q", d.Name)
+		}
+		if d.Init != nil {
+			return errf(d.Pos, "array %q cannot have an initializer", d.Name)
+		}
+		return nil
+	}
+	if d.Space == SpaceLocal {
+		return errf(d.Pos, "__local scalar %q not supported (use a __local array)", d.Name)
+	}
+	ty := ScalarType(d.Elem)
+	if d.Init != nil {
+		it, err := c.checkExpr(d.Init)
+		if err != nil {
+			return err
+		}
+		conv, err := c.convert(d.Init, it, ty)
+		if err != nil {
+			return err
+		}
+		d.Init = conv
+	}
+	if !c.scope.declare(d.Name, ty) {
+		return errf(d.Pos, "redeclaration of %q", d.Name)
+	}
+	return nil
+}
+
+func (c *checker) checkAssign(a *AssignStmt) error {
+	lt, err := c.checkLHS(a.LHS, a.Op != ASSIGN)
+	if err != nil {
+		return err
+	}
+	rt, err := c.checkExpr(a.RHS)
+	if err != nil {
+		return err
+	}
+	if lt.Ptr {
+		return errf(a.Pos, "cannot assign to pointer %s", ExprString(a.LHS))
+	}
+	conv, err := c.convert(a.RHS, rt, lt)
+	if err != nil {
+		return err
+	}
+	a.RHS = conv
+	return nil
+}
+
+// checkLHS types an assignment target and records write (and, for compound
+// assignment, read) access to pointer parameters.
+func (c *checker) checkLHS(e Expr, compound bool) (Type, error) {
+	switch e := e.(type) {
+	case *Ident:
+		t, ok := c.scope.lookup(e.Name)
+		if !ok {
+			return Type{}, errf(e.Pos, "undefined variable %q", e.Name)
+		}
+		e.setType(t)
+		return t, nil
+	case *IndexExpr:
+		t, err := c.checkIndex(e, true, compound)
+		if err != nil {
+			return Type{}, err
+		}
+		return t, nil
+	}
+	return Type{}, errf(e.NodePos(), "invalid assignment target")
+}
+
+func (c *checker) checkCond(e Expr) error {
+	t, err := c.checkExpr(e)
+	if err != nil {
+		return err
+	}
+	if t.Ptr || (t.Kind != Int && t.Kind != Bool && t.Kind != Float) {
+		return errf(e.NodePos(), "condition must be scalar, got %s", t)
+	}
+	return nil
+}
+
+// convert inserts an implicit conversion from t to want around e if needed.
+func (c *checker) convert(e Expr, t, want Type) (Expr, error) {
+	if t.Equal(want) {
+		return e, nil
+	}
+	if t.Ptr || want.Ptr {
+		return nil, errf(e.NodePos(), "cannot convert %s to %s", t, want)
+	}
+	if t.Kind == Void || want.Kind == Void {
+		return nil, errf(e.NodePos(), "cannot use void value")
+	}
+	cast := &CastExpr{To: want, X: e}
+	cast.Pos = e.NodePos()
+	cast.setType(want)
+	return cast, nil
+}
+
+func (c *checker) checkExpr(e Expr) (Type, error) {
+	switch e := e.(type) {
+	case *IntLit:
+		e.setType(ScalarType(Int))
+	case *FloatLit:
+		e.setType(ScalarType(Float))
+	case *BoolLit:
+		e.setType(ScalarType(Bool))
+	case *Ident:
+		if v, ok := builtinConsts[e.Name]; ok {
+			_ = v
+			e.setType(ScalarType(Int))
+			return e.Type(), nil
+		}
+		t, ok := c.scope.lookup(e.Name)
+		if !ok {
+			return Type{}, errf(e.Pos, "undefined variable %q", e.Name)
+		}
+		e.setType(t)
+	case *UnaryExpr:
+		t, err := c.checkExpr(e.X)
+		if err != nil {
+			return Type{}, err
+		}
+		if t.Ptr {
+			return Type{}, errf(e.Pos, "invalid operand %s to unary %s", t, e.Op)
+		}
+		switch e.Op {
+		case MINUS:
+			if t.Kind != Int && t.Kind != Float {
+				return Type{}, errf(e.Pos, "unary - requires numeric operand, got %s", t)
+			}
+			e.setType(t)
+		case NOT:
+			if t.Kind != Bool && t.Kind != Int {
+				return Type{}, errf(e.Pos, "! requires bool or int operand, got %s", t)
+			}
+			e.setType(ScalarType(Bool))
+		default:
+			return Type{}, errf(e.Pos, "unknown unary operator %s", e.Op)
+		}
+	case *BinaryExpr:
+		return c.checkBinary(e)
+	case *CondExpr:
+		if err := c.checkCond(e.Cond); err != nil {
+			return Type{}, err
+		}
+		tt, err := c.checkExpr(e.Then)
+		if err != nil {
+			return Type{}, err
+		}
+		et, err := c.checkExpr(e.Else)
+		if err != nil {
+			return Type{}, err
+		}
+		u, err := c.unify(e, tt, et)
+		if err != nil {
+			return Type{}, err
+		}
+		th, err := c.convert(e.Then, tt, u)
+		if err != nil {
+			return Type{}, err
+		}
+		el, err := c.convert(e.Else, et, u)
+		if err != nil {
+			return Type{}, err
+		}
+		e.Then, e.Else = th, el
+		e.setType(u)
+	case *CallExpr:
+		return c.checkCall(e)
+	case *IndexExpr:
+		return c.checkIndex(e, false, false)
+	case *CastExpr:
+		t, err := c.checkExpr(e.X)
+		if err != nil {
+			return Type{}, err
+		}
+		if t.Ptr || e.To.Ptr {
+			return Type{}, errf(e.Pos, "pointer casts are not supported")
+		}
+		if t.Kind == Void {
+			return Type{}, errf(e.Pos, "cannot cast void value")
+		}
+		e.setType(e.To)
+	default:
+		return Type{}, errf(e.NodePos(), "unknown expression %T", e)
+	}
+	return e.Type(), nil
+}
+
+func (c *checker) checkBinary(e *BinaryExpr) (Type, error) {
+	xt, err := c.checkExpr(e.X)
+	if err != nil {
+		return Type{}, err
+	}
+	yt, err := c.checkExpr(e.Y)
+	if err != nil {
+		return Type{}, err
+	}
+	if xt.Ptr || yt.Ptr {
+		return Type{}, errf(e.Pos, "pointer arithmetic is not supported (index with [])")
+	}
+	switch e.Op {
+	case PLUS, MINUS, STAR, SLASH:
+		u, err := c.unify(e, xt, yt)
+		if err != nil {
+			return Type{}, err
+		}
+		if u.Kind == Bool {
+			u = ScalarType(Int)
+		}
+		if e.X, err = c.convert(e.X, xt, u); err != nil {
+			return Type{}, err
+		}
+		if e.Y, err = c.convert(e.Y, yt, u); err != nil {
+			return Type{}, err
+		}
+		e.setType(u)
+	case PERCENT:
+		if xt.Kind != Int || yt.Kind != Int {
+			return Type{}, errf(e.Pos, "%% requires int operands, got %s and %s", xt, yt)
+		}
+		e.setType(ScalarType(Int))
+	case EQ, NEQ, LT, LEQ, GT, GEQ:
+		u, err := c.unify(e, xt, yt)
+		if err != nil {
+			return Type{}, err
+		}
+		if u.Kind == Bool {
+			u = ScalarType(Int)
+		}
+		if e.X, err = c.convert(e.X, xt, u); err != nil {
+			return Type{}, err
+		}
+		if e.Y, err = c.convert(e.Y, yt, u); err != nil {
+			return Type{}, err
+		}
+		e.setType(ScalarType(Bool))
+	case ANDAND, OROR:
+		for _, op := range []Expr{e.X, e.Y} {
+			t := op.Type()
+			if t.Ptr || (t.Kind != Bool && t.Kind != Int) {
+				return Type{}, errf(e.Pos, "%s requires bool or int operands, got %s", e.Op, t)
+			}
+		}
+		e.setType(ScalarType(Bool))
+	default:
+		return Type{}, errf(e.Pos, "unknown binary operator %s", e.Op)
+	}
+	return e.Type(), nil
+}
+
+// unify returns the common arithmetic type of two scalars (float wins).
+func (c *checker) unify(e Expr, a, b Type) (Type, error) {
+	if a.Ptr || b.Ptr {
+		return Type{}, errf(e.NodePos(), "cannot unify pointer types")
+	}
+	if a.Kind == Void || b.Kind == Void {
+		return Type{}, errf(e.NodePos(), "cannot use void value")
+	}
+	if a.Kind == Float || b.Kind == Float {
+		return ScalarType(Float), nil
+	}
+	if a.Kind == Int || b.Kind == Int {
+		return ScalarType(Int), nil
+	}
+	return ScalarType(Bool), nil
+}
+
+func (c *checker) checkCall(e *CallExpr) (Type, error) {
+	if strings.HasPrefix(e.Name, "atomic_") || strings.HasPrefix(e.Name, "atom_") {
+		// FluidiCL's stated limitation (paper §7): kernels using atomic
+		// primitives cannot be executed cooperatively.
+		return Type{}, errf(e.Pos, "atomic primitives are not supported by FluidiCL (%s)", e.Name)
+	}
+	b, ok := builtins[e.Name]
+	if !ok {
+		return Type{}, errf(e.Pos, "unknown function %q", e.Name)
+	}
+	if e.Name == "barrier" {
+		// Accept barrier() and barrier(flags).
+		if len(e.Args) > 1 {
+			return Type{}, errf(e.Pos, "barrier takes at most one argument")
+		}
+		for _, a := range e.Args {
+			if _, err := c.checkExpr(a); err != nil {
+				return Type{}, err
+			}
+		}
+		c.info.HasBarrier = true
+		e.setType(ScalarType(Void))
+		return e.Type(), nil
+	}
+	if len(e.Args) != len(b.Params) {
+		return Type{}, errf(e.Pos, "%s expects %d arguments, got %d", e.Name, len(b.Params), len(e.Args))
+	}
+	for i, a := range e.Args {
+		at, err := c.checkExpr(a)
+		if err != nil {
+			return Type{}, err
+		}
+		conv, err := c.convert(a, at, ScalarType(b.Params[i]))
+		if err != nil {
+			return Type{}, err
+		}
+		e.Args[i] = conv
+	}
+	e.setType(ScalarType(b.Result))
+	return e.Type(), nil
+}
+
+func (c *checker) checkIndex(e *IndexExpr, write, alsoRead bool) (Type, error) {
+	bt, ok := c.scope.lookup(e.Base.Name)
+	if !ok {
+		return Type{}, errf(e.Base.Pos, "undefined variable %q", e.Base.Name)
+	}
+	if !bt.Ptr {
+		return Type{}, errf(e.Base.Pos, "%q is not a pointer or array", e.Base.Name)
+	}
+	e.Base.setType(bt)
+	it, err := c.checkExpr(e.Idx)
+	if err != nil {
+		return Type{}, err
+	}
+	if it.Ptr || (it.Kind != Int && it.Kind != Bool) {
+		return Type{}, errf(e.Idx.NodePos(), "index must be int, got %s", it)
+	}
+	if it.Kind == Bool {
+		conv, err := c.convert(e.Idx, it, ScalarType(Int))
+		if err != nil {
+			return Type{}, err
+		}
+		e.Idx = conv
+	}
+	if acc, isParam := c.info.ParamAccess[e.Base.Name]; isParam {
+		if write {
+			acc.Written = true
+			if alsoRead {
+				acc.Read = true
+			}
+		} else {
+			acc.Read = true
+		}
+	}
+	e.setType(ScalarType(bt.Kind))
+	return e.Type(), nil
+}
+
+// ConstEval evaluates an integer constant expression. It returns ok=false
+// for non-constant expressions.
+func ConstEval(e Expr) (int64, bool) {
+	switch e := e.(type) {
+	case *IntLit:
+		return e.Val, true
+	case *BoolLit:
+		if e.Val {
+			return 1, true
+		}
+		return 0, true
+	case *Ident:
+		v, ok := builtinConsts[e.Name]
+		return v, ok
+	case *UnaryExpr:
+		x, ok := ConstEval(e.X)
+		if !ok {
+			return 0, false
+		}
+		switch e.Op {
+		case MINUS:
+			return -x, true
+		case NOT:
+			if x == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+	case *BinaryExpr:
+		x, okx := ConstEval(e.X)
+		y, oky := ConstEval(e.Y)
+		if !okx || !oky {
+			return 0, false
+		}
+		switch e.Op {
+		case PLUS:
+			return x + y, true
+		case MINUS:
+			return x - y, true
+		case STAR:
+			return x * y, true
+		case SLASH:
+			if y == 0 {
+				return 0, false
+			}
+			return x / y, true
+		case PERCENT:
+			if y == 0 {
+				return 0, false
+			}
+			return x % y, true
+		}
+	case *CastExpr:
+		if e.To.Kind == Int {
+			return ConstEval(e.X)
+		}
+	}
+	return 0, false
+}
+
+// FindKernelInfo is a convenience wrapper: parse + check + select kernel.
+func FindKernelInfo(src, name string) (*KernelInfo, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	pi, err := Check(prog)
+	if err != nil {
+		return nil, err
+	}
+	ki, ok := pi.Kernels[name]
+	if !ok {
+		return nil, fmt.Errorf("kernel %q not found", name)
+	}
+	return ki, nil
+}

@@ -1,0 +1,141 @@
+// Package clc implements the front end of MiniCL, an OpenCL-C-subset kernel
+// language: lexer, parser, AST and semantic analysis. Kernels written in
+// MiniCL are compiled to bytecode by package vm and executed on the
+// simulated devices in package device.
+//
+// The supported subset covers what the Polybench kernels and the
+// FluidiCL-generated kernels (merge kernel, transformed kernels) need:
+// scalar int/float/bool values, __global and __local pointers and arrays,
+// if/for/while control flow, the OpenCL work-item builtins and a small math
+// library. Atomics are intentionally absent (FluidiCL's stated limitation).
+package clc
+
+import "fmt"
+
+// Kind classifies a token.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	INTLIT
+	FLOATLIT
+
+	// keywords
+	KwKernel  // __kernel or kernel
+	KwGlobal  // __global or global
+	KwLocal   // __local or local
+	KwPrivate // __private or private
+	KwConst   // const (accepted and ignored)
+	KwVoid
+	KwInt
+	KwFloat
+	KwBool
+	KwIf
+	KwElse
+	KwFor
+	KwWhile
+	KwReturn
+	KwBreak
+	KwContinue
+	KwTrue
+	KwFalse
+
+	// punctuation and operators
+	LPAREN
+	RPAREN
+	LBRACE
+	RBRACE
+	LBRACKET
+	RBRACKET
+	COMMA
+	SEMI
+	QUESTION
+	COLON
+
+	ASSIGN     // =
+	PLUSEQ     // +=
+	MINUSEQ    // -=
+	STAREQ     // *=
+	SLASHEQ    // /=
+	PLUSPLUS   // ++
+	MINUSMINUS // --
+
+	PLUS    // +
+	MINUS   // -
+	STAR    // *
+	SLASH   // /
+	PERCENT // %
+
+	EQ  // ==
+	NEQ // !=
+	LT  // <
+	LEQ // <=
+	GT  // >
+	GEQ // >=
+
+	ANDAND // &&
+	OROR   // ||
+	NOT    // !
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", IDENT: "identifier", INTLIT: "int literal", FLOATLIT: "float literal",
+	KwKernel: "__kernel", KwGlobal: "__global", KwLocal: "__local", KwPrivate: "__private",
+	KwConst: "const", KwVoid: "void", KwInt: "int", KwFloat: "float", KwBool: "bool",
+	KwIf: "if", KwElse: "else", KwFor: "for", KwWhile: "while", KwReturn: "return",
+	KwBreak: "break", KwContinue: "continue", KwTrue: "true", KwFalse: "false",
+	LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}", LBRACKET: "[", RBRACKET: "]",
+	COMMA: ",", SEMI: ";", QUESTION: "?", COLON: ":",
+	ASSIGN: "=", PLUSEQ: "+=", MINUSEQ: "-=", STAREQ: "*=", SLASHEQ: "/=",
+	PLUSPLUS: "++", MINUSMINUS: "--",
+	PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/", PERCENT: "%",
+	EQ: "==", NEQ: "!=", LT: "<", LEQ: "<=", GT: ">", GEQ: ">=",
+	ANDAND: "&&", OROR: "||", NOT: "!",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"__kernel": KwKernel, "kernel": KwKernel,
+	"__global": KwGlobal, "global": KwGlobal,
+	"__local": KwLocal, "local": KwLocal,
+	"__private": KwPrivate, "private": KwPrivate,
+	"const": KwConst,
+	"void":  KwVoid, "int": KwInt, "float": KwFloat, "bool": KwBool,
+	"if": KwIf, "else": KwElse, "for": KwFor, "while": KwWhile,
+	"return": KwReturn, "break": KwBreak, "continue": KwContinue,
+	"true": KwTrue, "false": KwFalse,
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a lexical token.
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  Pos
+}
+
+// Error is a front-end diagnostic carrying a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...interface{}) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

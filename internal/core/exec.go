@@ -1,0 +1,514 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"fluidicl/internal/ocl"
+	"fluidicl/internal/passes"
+	"fluidicl/internal/sim"
+	"fluidicl/internal/vm"
+)
+
+// statusUpdate is one CPU-completion message as observed at the GPU (the
+// moment its transfer landed).
+type statusUpdate struct {
+	t        sim.Time
+	doneFrom int
+}
+
+// statusLog implements device.AbortQuery over the time-ordered list of
+// status arrivals for one kernel execution. The same arrivals also update
+// the GPU-resident status buffer that the transformed kernel's abort checks
+// read, so the timing view and the functional view always agree.
+type statusLog struct {
+	env     *sim.Env
+	updates []statusUpdate
+	changed *sim.Event
+}
+
+func newStatusLog(env *sim.Env) *statusLog {
+	return &statusLog{env: env, changed: env.NewEvent()}
+}
+
+// record notes a status arrival at the current virtual time.
+func (s *statusLog) record(doneFrom int) {
+	s.updates = append(s.updates, statusUpdate{t: s.env.Now(), doneFrom: doneFrom})
+	old := s.changed
+	s.changed = s.env.NewEvent()
+	old.Fire()
+}
+
+// DoneAt reports whether fgid was CPU-complete as of time t.
+func (s *statusLog) DoneAt(fgid int, t sim.Time) bool {
+	for _, u := range s.updates {
+		if u.t <= t && fgid >= u.doneFrom {
+			return true
+		}
+	}
+	return false
+}
+
+// DoneSince returns the earliest arrival after `after` covering fgid.
+func (s *statusLog) DoneSince(fgid int, after sim.Time) (sim.Time, bool) {
+	for _, u := range s.updates {
+		if u.t > after && fgid >= u.doneFrom {
+			return u.t, true
+		}
+	}
+	return 0, false
+}
+
+// Changed returns the (unfired) event for the next status arrival.
+func (s *statusLog) Changed() *sim.Event { return s.changed }
+
+func encodeStatus(kid, doneFrom int32) []byte {
+	b := make([]byte, 4*passes.StatusWords)
+	binary.LittleEndian.PutUint32(b[4*passes.StatusKernelID:], uint32(kid))
+	binary.LittleEndian.PutUint32(b[4*passes.StatusDoneFrom:], uint32(doneFrom))
+	return b
+}
+
+// schedOutcome is what the CPU scheduler thread reports back.
+type schedOutcome struct {
+	didAll      bool
+	cpuWGs      int
+	subkernels  int
+	variantUsed int
+	lastHD      *sim.Event
+	err         error
+}
+
+// EnqueueNDRangeKernel executes the kernel cooperatively on both devices
+// and blocks until the kernel is complete (§7: kernel calls are blocking;
+// the device-to-host transfer of results proceeds asynchronously so the
+// next kernel can overlap it, §5.5).
+func (r *Runtime) EnqueueNDRangeKernel(p *sim.Proc, k *Kernel, nd vm.NDRange, args []Arg) error {
+	if r.deferredErr != nil {
+		return r.deferredErr
+	}
+	if len(args) != len(k.Info.Kernel.Params) {
+		return fmt.Errorf("core: kernel %q expects %d args, got %d", k.Name, len(k.Info.Kernel.Params), len(args))
+	}
+	r.kernelSeq++
+	kid := r.kernelSeq
+	rep := &KernelReport{KID: kid, Name: k.Name, TotalWGs: nd.TotalGroups(), Start: p.Now()}
+	r.Reports = append(r.Reports, rep)
+	r.tracef(kid, "enqueue kernel %s (%d work-groups)", k.Name, nd.TotalGroups())
+
+	// Classify buffer arguments using the compile-time access analysis.
+	var outBufs []*Buffer
+	var inputReady []*sim.Event
+	for i, param := range k.Info.Kernel.Params {
+		if !param.Ty.Ptr {
+			continue
+		}
+		if args[i].Kind != ArgBuf || args[i].Buf == nil {
+			return fmt.Errorf("core: kernel %q arg %d (%s) must be a buffer", k.Name, i, param.Name)
+		}
+		b := args[i].Buf
+		acc := k.Info.ParamAccess[param.Name]
+		if acc.Read {
+			// The CPU scheduler must wait for this buffer's current version
+			// to be available CPU-side (§5.3). Capture the readiness event
+			// before out-buffer bookkeeping replaces it.
+			inputReady = append(inputReady, b.cpuReady)
+		}
+		if acc.Written {
+			outBufs = append(outBufs, b)
+		}
+		// GPU-side readiness: if the most recent data lives only on the
+		// CPU (previous kernel ran entirely there), upload it first. The
+		// write is ordered before the kernel by the in-order app queue.
+		if !b.locGPU {
+			snap := append([]byte(nil), b.host...)
+			r.gpuApp.EnqueueWriteBuffer(b.gpuBuf, snap)
+			b.locGPU = true
+			b.gpuVersion = b.receivedVersion
+		}
+	}
+
+	// Scratch buffers for merging (§4.1, §6.1): per out buffer, a copy of
+	// the unmodified data and a landing area for CPU-computed data. Both
+	// start as copies of the current contents so unreceived regions compare
+	// equal in the diff step.
+	scratches := make([]scratchPair, len(outBufs))
+	for i, b := range outBufs {
+		sc := scratchPair{buf: b, orig: r.pool.acquire(b.Size), cpuCopy: r.pool.acquire(b.Size)}
+		r.gpuApp.EnqueueCopyBuffer(b.gpuBuf, sc.orig)
+		r.gpuApp.EnqueueCopyBuffer(b.gpuBuf, sc.cpuCopy)
+		scratches[i] = sc
+	}
+
+	// The status buffer is not reset between kernels: a stale status names
+	// the previous kernel's ID and the abort check ignores it (§5.3's
+	// version-based discarding of stale messages).
+
+	// Out-buffer version bookkeeping (§5.3).
+	for _, b := range outBufs {
+		b.expectedVersion = kid
+		b.locCPU = false
+		b.cpuReady = r.Env.NewEvent()
+	}
+
+	// Launch the transformed kernel over the full NDRange on the GPU.
+	slog := newStatusLog(r.Env)
+	gpuArgs := make([]ocl.Arg, 0, len(args)+passes.GPUExtraArgs)
+	for _, a := range args {
+		gpuArgs = append(gpuArgs, a.gpu())
+	}
+	gpuArgs = append(gpuArgs, ocl.BufArg(r.statusBuf), ocl.IntArg(int64(kid)))
+	gpuDone, gpuRes := r.gpuApp.EnqueueNDRangeKernel(k.gpu, nd, gpuArgs, ocl.LaunchOpts{
+		Abort:    slog,
+		MidAbort: !r.opts.NoAbortInLoops,
+	})
+
+	// CPU scheduler thread (§4.2, §5.1).
+	outcome := &schedOutcome{variantUsed: k.bestCPUVar}
+	sched := r.Env.Go(fmt.Sprintf("fcl-cpu-sched-k%d", kid), func(sp *sim.Proc) {
+		r.runCPUScheduler(sp, k, kid, nd, args, outBufs, scratches, slog, gpuDone, inputReady, outcome)
+	})
+
+	// Blocking kernel call: the kernel is complete as soon as EITHER the
+	// GPU kernel finishes OR the CPU has computed the entire NDRange (the
+	// GPU kernel then keeps draining on its queue, its results ignored,
+	// §4.2 — it may not even have started yet if its input upload is still
+	// on the bus). A laggard CPU subkernel likewise keeps running on the
+	// CPU device queue and the next kernel's subkernels queue behind it.
+	firstDone := r.Env.NewEvent()
+	r.Env.Go(fmt.Sprintf("fcl-watch-gpu-k%d", kid), func(wp *sim.Proc) {
+		wp.Wait(gpuDone)
+		firstDone.Fire()
+	})
+	r.Env.Go(fmt.Sprintf("fcl-watch-cpu-k%d", kid), func(wp *sim.Proc) {
+		wp.Wait(sched.Done)
+		// Return without the GPU only when its kernel has not even begun
+		// (still behind its input upload on the bus); a started kernel
+		// drains quickly once the final status lands, and waiting for it
+		// avoids leaving a zombie launch in front of the next kernel.
+		if (outcome.didAll && !gpuRes.Started) || outcome.err != nil {
+			firstDone.Fire()
+		}
+	})
+	p.Wait(firstDone)
+
+	// Report fields finalize when each side completes.
+	r.Env.Go(fmt.Sprintf("fcl-report-k%d", kid), func(fp *sim.Proc) {
+		fp.Wait(sched.Done)
+		rep.CPUWGs = outcome.cpuWGs
+		rep.Subkernels = outcome.subkernels
+		rep.CPUDidAll = outcome.didAll
+		rep.VariantUsed = outcome.variantUsed
+		if outcome.err != nil {
+			r.deferredErr = fmt.Errorf("core: CPU execution of %q: %w", k.Name, outcome.err)
+		}
+		fp.Wait(gpuDone)
+		rep.GPUExecuted = gpuRes.Executed
+		rep.GPUSkipped = gpuRes.Skipped
+		rep.GPUAborted = gpuRes.Aborted
+		if gpuRes.Err != nil {
+			r.deferredErr = fmt.Errorf("core: GPU execution of %q: %w", k.Name, gpuRes.Err)
+		}
+	})
+	if gpuDone.Fired() {
+		r.tracef(kid, "GPU kernel done (executed %d, skipped %d, aborted %d)",
+			gpuRes.Executed, gpuRes.Skipped, gpuRes.Aborted)
+		if gpuRes.Err != nil {
+			return fmt.Errorf("core: GPU execution of %q: %w", k.Name, gpuRes.Err)
+		}
+	}
+	if outcome.err != nil {
+		return fmt.Errorf("core: CPU execution of %q: %w", k.Name, outcome.err)
+	}
+
+	// "CPU computed the entire NDRange first" (§4.2): either the GPU is
+	// still running (the CPU beat it outright), or both finished and the
+	// GPU did not cover the whole range itself.
+	if sched.Done.Fired() && outcome.didAll &&
+		(!gpuDone.Fired() || gpuRes.Executed < nd.TotalGroups()) {
+		// The CPU computed the entire NDRange first: the final data is
+		// already on the CPU; the GPU's partial results are ignored and no
+		// device-to-host transfer is needed (§4.2, §4.4).
+		r.tracef(kid, "CPU completed entire NDRange first; GPU results ignored")
+		for _, b := range outBufs {
+			ev := r.cpuQ.EnqueueReadBuffer(b.cpuBuf, b.host)
+			p.Wait(ev)
+			b.receivedVersion = kid
+			b.locCPU = true
+			b.locGPU = false
+			b.cpuReady.Fire()
+		}
+		r.releaseScratchesWhenSafe(sched.Done, gpuDone, scratches, outcome, nil)
+		rep.End = p.Now()
+		r.tracef(kid, "kernel call returns (CPU-did-all path)")
+		return nil
+	}
+
+	// Data merge on the GPU (§4.3). If no status update had arrived by GPU
+	// completion, the GPU executed every work-group itself, so the merge is
+	// a no-op and is skipped (data that lands later duplicates values the
+	// GPU already computed).
+	doMerge := len(slog.updates) > 0
+	if doMerge {
+		r.tracef(kid, "enqueue data merge for %d buffer(s)", len(scratches))
+	} else {
+		r.tracef(kid, "merge skipped (no CPU data arrived)")
+	}
+	var mergeEvents []*sim.Event
+	dhCopies := make([]*ocl.Buffer, len(scratches))
+	for i, sc := range scratches {
+		if doMerge {
+			words := sc.buf.Size / 4
+			local := 64
+			global := ((words + local - 1) / local) * local
+			margs := []ocl.Arg{
+				ocl.BufArg(sc.cpuCopy), ocl.BufArg(sc.buf.gpuBuf), ocl.BufArg(sc.orig),
+				ocl.IntArg(int64(words)),
+			}
+			ev, _ := r.gpuApp.EnqueueNDRangeKernel(r.mergeK, vm.NewNDRange1D(global, local), margs, ocl.LaunchOpts{})
+			mergeEvents = append(mergeEvents, ev)
+		}
+		// Snapshot the merged result device-side so the device-to-host
+		// transfer can overlap the next kernel's writes to the same buffer
+		// (§5.5: copies of out buffers are made at the end of the kernel).
+		dhCopies[i] = r.pool.acquire(sc.buf.Size)
+		ev := r.gpuApp.EnqueueCopyBuffer(sc.buf.gpuBuf, dhCopies[i])
+		mergeEvents = append(mergeEvents, ev)
+		sc.buf.gpuVersion = kid
+		sc.buf.locGPU = true
+	}
+	var dhDone *sim.Event
+	if len(outBufs) > 0 {
+		dhDone = r.Env.NewEvent()
+		r.Env.Go(fmt.Sprintf("fcl-dh-k%d", kid), func(dp *sim.Proc) {
+			dp.WaitAll(mergeEvents...)
+			for i, b := range outBufs {
+				ev := r.gpuDH.EnqueueReadBuffer(dhCopies[i], b.host)
+				dp.Wait(ev)
+				r.tracef(kid, "device-to-host transfer of out buffer %d complete", i)
+				// Refresh the CPU device's copy so subsequent kernels can
+				// execute there too (§4.4). No need to wait: the in-order
+				// CPU queue sequences this write before any later
+				// subkernel, even behind a laggard subkernel of this
+				// kernel whose results are being ignored.
+				r.cpuQ.EnqueueWriteBuffer(b.cpuBuf, b.host)
+				b.receivedVersion = kid
+				b.locCPU = true
+				b.cpuReady.Fire()
+				r.pool.release(dhCopies[i])
+			}
+			dhDone.Fire()
+		})
+	}
+	r.releaseScratchesWhenSafe(sched.Done, gpuDone, scratches, outcome, dhDone)
+	rep.End = p.Now()
+	r.tracef(kid, "kernel call returns (merge path)")
+	return nil
+}
+
+// scratchPair holds the per-out-buffer GPU scratch buffers used by the
+// merge step: the unmodified original and the CPU-data landing area.
+type scratchPair struct {
+	buf     *Buffer
+	orig    *ocl.Buffer
+	cpuCopy *ocl.Buffer
+}
+
+// releaseScratchesWhenSafe returns scratch buffers to the pool once no
+// in-flight transfer, queued copy or merge can still touch them: after the
+// CPU scheduler exits, its last host-to-device transfer lands, the GPU
+// kernel (and the scratch-priming copies queued before it) completes, and
+// the DH thread (if any) finishes.
+func (r *Runtime) releaseScratchesWhenSafe(schedDone, gpuDone *sim.Event, scratches []scratchPair, out *schedOutcome, dhDone *sim.Event) {
+	if len(scratches) == 0 {
+		return
+	}
+	r.Env.Go("fcl-scratch-release", func(p *sim.Proc) {
+		p.Wait(schedDone)
+		p.Wait(gpuDone)
+		if out.lastHD != nil {
+			p.Wait(out.lastHD)
+		}
+		if dhDone != nil {
+			p.Wait(dhDone)
+		}
+		for _, sc := range scratches {
+			r.pool.release(sc.orig)
+			r.pool.release(sc.cpuCopy)
+		}
+	})
+}
+
+// runCPUScheduler is the CPU scheduler thread (§4.2): it waits for input
+// buffers to be CPU-resident, then repeatedly launches subkernels over
+// work-group ranges from the top of the flattened ID space downward,
+// shipping computed data followed by a status message to the GPU after each
+// subkernel, until either end of the range is met or the GPU finishes.
+func (r *Runtime) runCPUScheduler(sp *sim.Proc, k *Kernel, kid int, nd vm.NDRange,
+	args []Arg, outBufs []*Buffer, scratches []scratchPair,
+	slog *statusLog, gpuDone *sim.Event, inputReady []*sim.Event, out *schedOutcome) {
+
+	// Wait for the most recent versions of all inputs to reach the CPU
+	// (§5.3). The GPU proceeds meanwhile — it always has current data.
+	for _, ev := range inputReady {
+		sp.Wait(ev)
+	}
+	r.tracef(kid, "CPU scheduler: inputs ready")
+	if gpuDone.Fired() {
+		r.tracef(kid, "CPU scheduler: GPU already finished; exiting")
+		return
+	}
+
+	total := nd.TotalGroups()
+	cus := r.cpu.Dev.Cfg.ComputeUnits
+	chunk := int(math.Round(float64(total) * r.opts.InitialChunkPct / 100))
+	if chunk < 1 {
+		chunk = 1
+	}
+	// §5.1: never launch fewer work-groups than the CPU has compute units
+	// (work-group splitting, when allowed, handles the sub-CU tail).
+	if chunk < cus && total >= cus {
+		chunk = cus
+	}
+	step := int(math.Round(float64(total) * r.opts.StepPct / 100))
+	if step < 1 && r.opts.StepPct > 0 {
+		step = 1
+	}
+
+	profiling := r.opts.OnlineProfiling && len(k.cpu) > 1 && !k.profiled
+	varTimes := make([]float64, len(k.cpu))
+	varTried := 0
+	curVar := k.bestCPUVar
+
+	hi := total - 1
+	prevAvg := math.MaxFloat64
+	for hi >= 0 && !gpuDone.Fired() {
+		// Launch whole waves: a chunk that is not a multiple of the CPU's
+		// compute units leaves threads idle in its final wave (§5.1's
+		// resource-utilization concern).
+		launchChunk := chunk
+		if launchChunk > cus {
+			launchChunk = (launchChunk / cus) * cus
+		}
+		if profiling && varTried < len(k.cpu) {
+			// Online profiling probes each kernel version on a small
+			// allocation (§6.6: "running each kernel version for a small
+			// allocation size"); work-group splitting keeps the cores busy.
+			launchChunk = 2
+			if launchChunk > total {
+				launchChunk = total
+			}
+		}
+		lo := hi - launchChunk + 1
+		if lo < 0 {
+			lo = 0
+		}
+		if profiling && varTried < len(k.cpu) {
+			curVar = varTried
+		}
+		ndSlice := nd.Slice(lo, hi)
+		cargs := make([]ocl.Arg, 0, len(args)+passes.CPUExtraArgs)
+		for _, a := range args {
+			cargs = append(cargs, a.cpu())
+		}
+		cargs = append(cargs, ocl.IntArg(int64(lo)), ocl.IntArg(int64(hi)))
+		r.tracef(kid, "CPU subkernel launch: work-groups [%d, %d] (variant %d)", lo, hi, curVar)
+		t0 := sp.Now()
+		ev, res := r.cpuQ.EnqueueNDRangeKernel(k.cpu[curVar], ndSlice, cargs, ocl.LaunchOpts{
+			Split: !r.opts.NoWorkGroupSplit,
+		})
+		sp.Wait(ev)
+		if res.Err != nil {
+			out.err = res.Err
+			return
+		}
+		nWGs := hi - lo + 1
+		dur := sp.Now() - t0
+		avg := dur / float64(nWGs)
+		out.subkernels++
+		out.cpuWGs += nWGs
+
+		if profiling && varTried < len(k.cpu) {
+			varTimes[varTried] = avg
+			varTried++
+			if varTried == len(k.cpu) {
+				best := 0
+				for i, t := range varTimes {
+					if t < varTimes[best] {
+						best = i
+					}
+				}
+				k.bestCPUVar = best
+				k.profiled = true
+				curVar = best
+			}
+		}
+		out.variantUsed = curVar
+
+		// Ship computed data, then the status message, on the in-order hd
+		// queue — the GPU treats a work-group as complete only once its
+		// data has arrived (§4.2). Intermediate copies (the staging reads)
+		// let the next subkernel proceed while transfers are in flight
+		// (§5.5): the scheduler does not wait for any of this.
+		if !gpuDone.Fired() {
+			out.lastHD = r.shipToGPU(kid, lo, outBufs, scratches, slog)
+		}
+
+		// Adaptive chunk sizing (§5.1): grow while time per work-group
+		// keeps improving.
+		if avg < prevAvg {
+			chunk += step
+		}
+		prevAvg = avg
+		hi = lo - 1
+	}
+	if hi < 0 {
+		out.didAll = true
+	}
+}
+
+// shipToGPU stages one subkernel's out-buffer data off the CPU device and
+// sends it, followed by the status message, to the GPU over the in-order hd
+// queue. The staging reads are enqueued on the CPU queue (ordered after the
+// subkernel that produced the data); a helper process waits for them and
+// then enqueues the hd transfers, so the scheduler never blocks. The
+// returned event fires when the status message has landed at the GPU.
+//
+// Ordering across subkernels is preserved without extra synchronization:
+// staging reads serialize on the in-order CPU queue, so the helper for
+// subkernel N enqueues its hd transfers strictly before subkernel N+1's.
+func (r *Runtime) shipToGPU(kid, lo int, outBufs []*Buffer, scratches []scratchPair, slog *statusLog) *sim.Event {
+	type staged struct {
+		data []byte
+		ev   *sim.Event
+		dst  *ocl.Buffer
+	}
+	stages := make([]staged, len(outBufs))
+	for i, b := range outBufs {
+		data := make([]byte, b.Size)
+		stages[i] = staged{
+			data: data,
+			ev:   r.cpuQ.EnqueueReadBuffer(b.cpuBuf, data),
+			dst:  scratches[i].cpuCopy,
+		}
+	}
+	shipped := r.Env.NewEvent()
+	r.Env.Go(fmt.Sprintf("fcl-ship-k%d-lo%d", kid, lo), func(wp *sim.Proc) {
+		for _, s := range stages {
+			wp.Wait(s.ev)
+		}
+		for _, s := range stages {
+			r.gpuHD.EnqueueWriteBuffer(s.dst, s.data)
+		}
+		st := encodeStatus(int32(kid), int32(lo))
+		stEv := r.gpuHD.EnqueueWriteBuffer(r.statusBuf, st)
+		r.gpuHD.EnqueueCall(func() {
+			slog.record(lo)
+			r.tracef(kid, "status arrived at GPU: work-groups >= %d complete on CPU", lo)
+		})
+		wp.Wait(stEv)
+		shipped.Fire()
+	})
+	return shipped
+}

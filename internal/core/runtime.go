@@ -1,0 +1,501 @@
+// Package core implements FluidiCL, the paper's contribution: an OpenCL-like
+// runtime that takes a program written for a single device and executes each
+// kernel cooperatively on both the CPU and the GPU (Pandit & Govindarajan,
+// "Fluidic Kernels", CGO 2014).
+//
+// The runtime sits above two vendor-runtime-shaped contexts (package ocl),
+// one per device, exactly as the paper's Figure 4 shows. For every kernel
+// enqueue it:
+//
+//   - launches the transformed kernel over the full NDRange on the GPU,
+//     whose work-groups abort when the CPU's completion status covers them;
+//   - runs a CPU scheduler thread that repeatedly launches subkernels over
+//     chunks of work-groups from the highest flattened work-group ID down,
+//     with adaptive chunk sizing (§5.1), sending computed data followed by a
+//     status message to the GPU after each subkernel (§4.2);
+//   - merges the two devices' results on the GPU with a generated
+//     diff-merge kernel (§4.3, Fig. 9) and returns the final data to the
+//     host on a dedicated device-to-host thread (§5.6);
+//   - tracks buffer versions and data location so multi-kernel programs
+//     stay coherent without programmer effort (§5.3, §6.2).
+package core
+
+import (
+	"fmt"
+
+	"fluidicl/internal/clc"
+	"fluidicl/internal/device"
+	"fluidicl/internal/ocl"
+	"fluidicl/internal/passes"
+	"fluidicl/internal/sim"
+)
+
+// Options configures the runtime. The zero value selects the paper's
+// defaults via New.
+type Options struct {
+	// InitialChunkPct is the first CPU subkernel's share of the total
+	// work-groups, in percent (§5.1; default 2).
+	InitialChunkPct float64
+	// StepPct is the adaptive chunk-size increment, in percent (default 2).
+	// A negative value means a constant chunk size (the paper's "step size
+	// of 0%": every subkernel keeps the initial allocation).
+	StepPct float64
+	// AbortInLoops enables GPU work-group aborts inside innermost loops
+	// (§6.4; default on). Setting NoAbortInLoops disables it.
+	NoAbortInLoops bool
+	// NoUnroll disables loop unrolling around in-loop abort checks (§6.5).
+	NoUnroll bool
+	// UnrollFactor is the unroll factor (default 4).
+	UnrollFactor int
+	// NoWorkGroupSplit disables CPU work-group splitting (§6.3).
+	NoWorkGroupSplit bool
+	// OnlineProfiling enables timing of alternate CPU kernel versions and
+	// automatic selection of the fastest (§6.6). Off by default, as in the
+	// paper's headline results.
+	OnlineProfiling bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.InitialChunkPct <= 0 {
+		o.InitialChunkPct = 2
+	}
+	switch {
+	case o.StepPct < 0:
+		o.StepPct = 0
+	case o.StepPct == 0:
+		o.StepPct = 2
+	}
+	if o.UnrollFactor <= 0 {
+		o.UnrollFactor = 4
+	}
+	return o
+}
+
+// KernelReport records one cooperative kernel execution, for the
+// experiment harness and for tests.
+type KernelReport struct {
+	KID         int
+	Name        string
+	TotalWGs    int
+	GPUExecuted int
+	GPUSkipped  int
+	GPUAborted  int
+	CPUWGs      int // work-groups completed by CPU subkernels
+	Subkernels  int
+	CPUDidAll   bool
+	VariantUsed int
+	Start, End  sim.Time
+}
+
+// Runtime is a FluidiCL instance bound to one CPU and one GPU device.
+type Runtime struct {
+	Env *sim.Env
+	cpu *ocl.Context
+	gpu *ocl.Context
+
+	gpuApp *ocl.CommandQueue // application GPU queue: kernels + merges
+	gpuHD  *ocl.CommandQueue // host-to-device queue: CPU data + status (§5.4)
+	gpuDH  *ocl.CommandQueue // device-to-host queue: merged results (§5.4)
+	cpuQ   *ocl.CommandQueue // CPU device queue
+
+	opts      Options
+	mergeProg *ocl.Program
+	mergeK    *ocl.Kernel
+	statusBuf *ocl.Buffer
+
+	pool        *bufferPool
+	kernelSeq   int
+	deferredErr error // CPU-side failure noticed after a kernel call returned
+	trace       *Trace
+
+	Reports []*KernelReport
+}
+
+// New creates a FluidiCL runtime over the given devices.
+func New(env *sim.Env, cpuDev, gpuDev *device.Device, opts Options) (*Runtime, error) {
+	r := &Runtime{
+		Env:  env,
+		cpu:  ocl.NewContext(env, cpuDev),
+		gpu:  ocl.NewContext(env, gpuDev),
+		opts: opts.withDefaults(),
+	}
+	r.gpuApp = r.gpu.CreateQueue("app")
+	r.gpuHD = r.gpu.CreateQueue("hd")
+	r.gpuDH = r.gpu.CreateQueue("dh")
+	r.cpuQ = r.cpu.CreateQueue("app")
+	var err error
+	r.mergeProg, err = r.gpu.BuildProgram(passes.MergeKernelSource)
+	if err != nil {
+		return nil, fmt.Errorf("core: building merge kernel: %w", err)
+	}
+	r.mergeK, err = r.mergeProg.CreateKernel(passes.MergeKernelName)
+	if err != nil {
+		return nil, err
+	}
+	r.statusBuf = r.gpu.CreateBuffer(4 * passes.StatusWords)
+	r.pool = &bufferPool{ctx: r.gpu}
+	return r, nil
+}
+
+// MustNew is New for known-good configurations.
+func MustNew(env *sim.Env, cpuDev, gpuDev *device.Device, opts Options) *Runtime {
+	r, err := New(env, cpuDev, gpuDev, opts)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// ---- buffers ----
+
+// Buffer is a FluidiCL memory object: one buffer per device plus a host
+// shadow, with version and location tracking (§5.3, §6.2).
+type Buffer struct {
+	rt   *Runtime
+	Size int
+
+	gpuBuf *ocl.Buffer
+	cpuBuf *ocl.Buffer
+	host   []byte // host shadow: valid when receivedVersion == expectedVersion
+
+	expectedVersion int // kernel ID expected to produce the next contents
+	receivedVersion int // version present in the host shadow / CPU buffer
+	gpuVersion      int // version present on the GPU
+
+	locCPU bool // most recent data available on the CPU side
+	locGPU bool // most recent data available on the GPU
+
+	cpuReady *sim.Event // fires when receivedVersion reaches expectedVersion
+}
+
+// CreateBuffer creates a buffer on both devices (paper §4.1: clCreateBuffer
+// is translated into buffer creation on both the CPU and the GPU).
+func (r *Runtime) CreateBuffer(size int) *Buffer {
+	b := &Buffer{
+		rt:     r,
+		Size:   size,
+		gpuBuf: r.gpu.CreateBuffer(size),
+		cpuBuf: r.cpu.CreateBuffer(size),
+		host:   make([]byte, size),
+		locCPU: true,
+		locGPU: true,
+	}
+	b.cpuReady = r.Env.NewEvent()
+	b.cpuReady.Fire()
+	return b
+}
+
+// EnqueueWriteBuffer writes host data to both devices (§4.1: every
+// clEnqueueWriteBuffer becomes two writes). The call snapshots the data and
+// returns immediately; the in-order device queues sequence the transfers
+// before any later kernel on that device, so each device starts as soon as
+// its own copy lands (§5.5's overlap of communication with execution).
+func (r *Runtime) EnqueueWriteBuffer(p *sim.Proc, b *Buffer, data []byte) {
+	if len(data) > b.Size {
+		panic("core: write larger than buffer")
+	}
+	copy(b.host, data)
+	snap := append([]byte(nil), data...)
+	r.gpuApp.EnqueueWriteBuffer(b.gpuBuf, snap)
+	r.cpuQ.EnqueueWriteBuffer(b.cpuBuf, snap)
+	b.locCPU, b.locGPU = true, true
+	b.receivedVersion = b.expectedVersion
+	if !b.cpuReady.Fired() {
+		b.cpuReady.Fire()
+	}
+}
+
+// EnqueueReadBuffer returns the buffer's current contents. Data location
+// tracking (§6.2) avoids a device-to-host transfer when the most recent
+// data is already on the CPU side.
+func (r *Runtime) EnqueueReadBuffer(p *sim.Proc, b *Buffer) []byte {
+	if b.receivedVersion == b.expectedVersion && b.locCPU {
+		// Already on the host: no transfer needed.
+		out := make([]byte, b.Size)
+		copy(out, b.host)
+		return out
+	}
+	// A device-to-host transfer for this version is in flight (or the data
+	// lives only on the GPU): wait for readiness.
+	p.Wait(b.cpuReady)
+	out := make([]byte, b.Size)
+	copy(out, b.host)
+	return out
+}
+
+// Finish drains all runtime queues.
+func (r *Runtime) Finish(p *sim.Proc) {
+	p.Wait(r.gpuApp.EnqueueMarker())
+	p.Wait(r.gpuHD.EnqueueMarker())
+	p.Wait(r.gpuDH.EnqueueMarker())
+	p.Wait(r.cpuQ.EnqueueMarker())
+}
+
+// ---- programs and kernels ----
+
+// Program is a FluidiCL program: the original source compiled twice, once
+// per device, each through its transformation pipeline.
+type Program struct {
+	rt      *Runtime
+	Source  string
+	info    *clc.ProgramInfo // analysis of the original source
+	gpuProg *ocl.Program
+	cpuProg *ocl.Program
+	GPUSrc  string // transformed GPU source (for inspection)
+	CPUSrc  string // transformed CPU source
+}
+
+// BuildProgram compiles src for both devices (§4.1: clBuildProgram results
+// in kernel compilation for both devices), applying the GPU abort-check and
+// CPU range-guard transformations.
+func (r *Runtime) BuildProgram(src string) (*Program, error) {
+	orig, err := clc.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	info, err := clc.Check(orig)
+	if err != nil {
+		return nil, err
+	}
+
+	gpuAST, err := clc.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	gopt := passes.GPUOptions{
+		AbortInLoops: !r.opts.NoAbortInLoops,
+		Unroll:       !r.opts.NoAbortInLoops && !r.opts.NoUnroll,
+		UnrollFactor: r.opts.UnrollFactor,
+	}
+	for _, k := range gpuAST.Kernels {
+		if _, err := passes.TransformGPU(k, gopt); err != nil {
+			return nil, err
+		}
+	}
+	gpuSrc := clc.Print(gpuAST)
+	gpuProg, err := r.gpu.BuildProgram(gpuSrc)
+	if err != nil {
+		return nil, fmt.Errorf("core: GPU build: %w", err)
+	}
+
+	cpuAST, err := clc.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range cpuAST.Kernels {
+		if err := passes.TransformCPU(k); err != nil {
+			return nil, err
+		}
+	}
+	cpuSrc := clc.Print(cpuAST)
+	cpuProg, err := r.cpu.BuildProgram(cpuSrc)
+	if err != nil {
+		return nil, fmt.Errorf("core: CPU build: %w", err)
+	}
+
+	return &Program{
+		rt: r, Source: src, info: info,
+		gpuProg: gpuProg, cpuProg: cpuProg,
+		GPUSrc: gpuSrc, CPUSrc: cpuSrc,
+	}, nil
+}
+
+// Kernel is a FluidiCL kernel: a transformed GPU kernel plus one or more
+// CPU subkernel variants (§6.6 allows alternate CPU implementations).
+type Kernel struct {
+	prog *Program
+	Name string
+	Info *clc.KernelInfo // original-source analysis (out/inout params)
+	gpu  *ocl.Kernel
+	cpu  []*ocl.Kernel // variant 0 is the original kernel
+
+	profiled   bool
+	bestCPUVar int
+}
+
+// CreateKernel creates a kernel object by name.
+func (p *Program) CreateKernel(name string) (*Kernel, error) {
+	info, ok := p.info.Kernels[name]
+	if !ok {
+		return nil, fmt.Errorf("core: kernel %q not found", name)
+	}
+	gk, err := p.gpuProg.CreateKernel(name)
+	if err != nil {
+		return nil, err
+	}
+	ck, err := p.cpuProg.CreateKernel(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Kernel{prog: p, Name: name, Info: info, gpu: gk, cpu: []*ocl.Kernel{ck}}, nil
+}
+
+// MustKernel is CreateKernel for known-good names.
+func (p *Program) MustKernel(name string) *Kernel {
+	k, err := p.CreateKernel(name)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// DisasmGPU returns the transformed GPU kernel's bytecode disassembly (a
+// debugging aid for inspecting what the passes and compiler produced).
+func (k *Kernel) DisasmGPU() string { return k.gpu.VM.Disasm() }
+
+// AddCPUVariant registers an alternate CPU implementation of the kernel
+// (§6.6). The variant must take the same arguments and be functionally
+// identical in terms of output buffers modified; this is validated against
+// the original kernel's signature and access analysis.
+func (k *Kernel) AddCPUVariant(src, name string) error {
+	vinfo, err := clc.FindKernelInfo(src, name)
+	if err != nil {
+		return err
+	}
+	if err := sameSignature(k.Info, vinfo); err != nil {
+		return fmt.Errorf("core: CPU variant %q: %w", name, err)
+	}
+	ast, err := clc.Parse(src)
+	if err != nil {
+		return err
+	}
+	vk := ast.Kernel(name)
+	if err := passes.TransformCPU(vk); err != nil {
+		return err
+	}
+	prog, err := k.prog.rt.cpu.BuildProgram(clc.Print(ast))
+	if err != nil {
+		return err
+	}
+	ck, err := prog.CreateKernel(name)
+	if err != nil {
+		return err
+	}
+	k.cpu = append(k.cpu, ck)
+	k.profiled = false
+	return nil
+}
+
+func sameSignature(a, b *clc.KernelInfo) error {
+	pa, pb := a.Kernel.Params, b.Kernel.Params
+	if len(pa) != len(pb) {
+		return fmt.Errorf("parameter count differs (%d vs %d)", len(pa), len(pb))
+	}
+	for i := range pa {
+		if pa[i].Ty != pb[i].Ty {
+			return fmt.Errorf("parameter %d type differs (%s vs %s)", i, pa[i].Ty, pb[i].Ty)
+		}
+	}
+	aw, bw := a.WrittenParams(), b.WrittenParams()
+	if len(aw) != len(bw) {
+		return fmt.Errorf("written-buffer sets differ")
+	}
+	for i := range aw {
+		if pa[posOf(a, aw[i])].Ty != pb[posOf(b, bw[i])].Ty || aw[i] != bw[i] {
+			return fmt.Errorf("written-buffer sets differ")
+		}
+	}
+	return nil
+}
+
+func posOf(ki *clc.KernelInfo, name string) int {
+	for i, p := range ki.Kernel.Params {
+		if p.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// ---- kernel arguments ----
+
+// ArgKind classifies FluidiCL kernel arguments.
+type ArgKind int
+
+// Argument kinds.
+const (
+	ArgBuf ArgKind = iota
+	ArgInt
+	ArgFloat
+)
+
+// Arg is a FluidiCL kernel argument.
+type Arg struct {
+	Kind ArgKind
+	Buf  *Buffer
+	I    int64
+	F    float64
+}
+
+// BufArg makes a buffer argument.
+func BufArg(b *Buffer) Arg { return Arg{Kind: ArgBuf, Buf: b} }
+
+// IntArg makes an int argument.
+func IntArg(v int64) Arg { return Arg{Kind: ArgInt, I: v} }
+
+// FloatArg makes a float argument.
+func FloatArg(v float64) Arg { return Arg{Kind: ArgFloat, F: v} }
+
+func (a Arg) gpu() ocl.Arg {
+	switch a.Kind {
+	case ArgBuf:
+		return ocl.BufArg(a.Buf.gpuBuf)
+	case ArgInt:
+		return ocl.IntArg(a.I)
+	default:
+		return ocl.FloatArg(a.F)
+	}
+}
+
+func (a Arg) cpu() ocl.Arg {
+	switch a.Kind {
+	case ArgBuf:
+		return ocl.BufArg(a.Buf.cpuBuf)
+	case ArgInt:
+		return ocl.IntArg(a.I)
+	default:
+		return ocl.FloatArg(a.F)
+	}
+}
+
+// ---- GPU scratch-buffer pool (§6.1) ----
+
+type bufferPool struct {
+	ctx     *ocl.Context
+	free    []*ocl.Buffer
+	Created int
+	Reused  int
+}
+
+// acquire returns a free buffer of at least size bytes, creating one if
+// necessary (smallest adequate buffer first).
+func (p *bufferPool) acquire(size int) *ocl.Buffer {
+	best := -1
+	for i, b := range p.free {
+		if b.Size >= size && (best < 0 || b.Size < p.free[best].Size) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		b := p.free[best]
+		p.free = append(p.free[:best], p.free[best+1:]...)
+		p.Reused++
+		return b
+	}
+	p.Created++
+	return p.ctx.CreateBuffer(size)
+}
+
+func (p *bufferPool) release(b *ocl.Buffer) {
+	p.free = append(p.free, b)
+	// Trim: keep the pool bounded (older unused buffers are freed, §6.1).
+	const maxPooled = 16
+	if len(p.free) > maxPooled {
+		p.free = p.free[len(p.free)-maxPooled:]
+	}
+}
+
+// PoolStats reports scratch-buffer pool behaviour (created vs reused).
+func (r *Runtime) PoolStats() (created, reused int) {
+	return r.pool.Created, r.pool.Reused
+}

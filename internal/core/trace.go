@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fluidicl/internal/sim"
+)
+
+// TraceEvent is one timestamped runtime event.
+type TraceEvent struct {
+	T    sim.Time
+	KID  int
+	What string
+}
+
+// Trace records the runtime's cooperative-execution timeline when enabled
+// with EnableTrace. It is an observability aid: `fluidibench trace <bench>`
+// prints it, and tests assert orderings on it (e.g. "status messages always
+// follow their data").
+type Trace struct {
+	Events []TraceEvent
+}
+
+// EnableTrace turns on event recording for subsequent kernel executions.
+func (r *Runtime) EnableTrace() *Trace {
+	r.trace = &Trace{}
+	return r.trace
+}
+
+func (r *Runtime) tracef(kid int, format string, args ...interface{}) {
+	if r.trace == nil {
+		return
+	}
+	r.trace.Events = append(r.trace.Events, TraceEvent{
+		T:    r.Env.Now(),
+		KID:  kid,
+		What: fmt.Sprintf(format, args...),
+	})
+}
+
+// String renders the timeline, one event per line, time-ordered.
+func (t *Trace) String() string {
+	evs := make([]TraceEvent, len(t.Events))
+	copy(evs, t.Events)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].T < evs[j].T })
+	var b strings.Builder
+	for _, e := range evs {
+		fmt.Fprintf(&b, "%10.3f us  k%-2d %s\n", e.T*1e6, e.KID, e.What)
+	}
+	return b.String()
+}
+
+// Find returns the events whose description contains substr, time-ordered.
+func (t *Trace) Find(substr string) []TraceEvent {
+	var out []TraceEvent
+	for _, e := range t.Events {
+		if strings.Contains(e.What, substr) {
+			out = append(out, e)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].T < out[j].T })
+	return out
+}

@@ -1,0 +1,188 @@
+package device
+
+import (
+	"math"
+
+	"fluidicl/internal/sim"
+	"fluidicl/internal/vm"
+)
+
+// inflightWG tracks one work-group currently executing on a compute unit.
+type inflightWG struct {
+	fgid  int
+	cu    int
+	start sim.Time
+	end   sim.Time
+	undo  *vm.UndoLog
+	stats vm.Stats
+}
+
+// runLaunch executes a kernel launch work-group by work-group, distributing
+// groups across compute units greedily (lowest free time first), honouring
+// FluidiCL's abort semantics:
+//
+//   - Before a work-group starts, the entry abort check consults the
+//     CPU-completion status that has arrived by that virtual instant; a
+//     completed group is skipped for SkipCost.
+//   - With in-loop checks (Launch.MidAbort), a running work-group whose
+//     flattened ID becomes CPU-complete mid-execution aborts AbortNotice
+//     after the status lands, and its stores are rolled back (partial
+//     writes are legal per the paper — the merge step overwrites them —
+//     but rolling back keeps the simulated memory identical to a machine
+//     where the aborted group never committed its tail writes).
+//
+// The executor reacts to status arrivals promptly by waiting on the abort
+// query's Changed event rather than sleeping blindly.
+func (d *Device) runLaunch(p *sim.Proc, l *Launch) {
+	res := l.Result
+	res.Started = true
+	n := l.ND.LaunchGroups()
+	if n == 0 {
+		return
+	}
+	p.Sleep(d.Cfg.KernelLaunchOverhead)
+
+	// CPU work-group splitting (§6.3): with fewer groups than hardware
+	// threads and a splittable kernel, each group's work-items spread over
+	// the idle threads.
+	split := 1
+	slots := d.Cfg.ComputeUnits
+	if l.Split && d.Cfg.Kind == CPU && n < d.Cfg.ComputeUnits &&
+		!l.Kernel.HasBarrier && len(l.Kernel.LocalArrs) == 0 {
+		split = d.Cfg.ComputeUnits / n
+		if split < 1 {
+			split = 1
+		}
+		slots = n
+	}
+
+	// GPU occupancy: each compute unit interleaves several resident
+	// work-groups, each progressing at 1/occupancy rate. Aggregate
+	// throughput is unchanged, but many more work-groups are in flight —
+	// which is what makes in-loop abort checks (§6.4) worthwhile.
+	occupancy := d.Cfg.Occupancy
+	if occupancy < 1 {
+		occupancy = 1
+	}
+	if d.Cfg.Kind == GPU && occupancy > 1 {
+		// A launch with few work-groups does not fill the machine: only as
+		// many work-groups share a compute unit as the launch provides.
+		perCU := (n + d.Cfg.ComputeUnits - 1) / d.Cfg.ComputeUnits
+		if perCU < occupancy {
+			occupancy = perCU
+		}
+		if occupancy < 1 {
+			occupancy = 1
+		}
+		slots = slots * occupancy
+	} else {
+		occupancy = 1
+	}
+
+	cuFree := make([]sim.Time, slots)
+	for i := range cuFree {
+		cuFree[i] = p.Now()
+	}
+	var fly []inflightWG
+	next := 0
+
+	settle := func() {
+		now := p.Now()
+		kept := fly[:0]
+		for _, f := range fly {
+			if l.Abort != nil && l.MidAbort {
+				if u, ok := l.Abort.DoneSince(f.fgid, f.start); ok && u+d.Cfg.AbortNotice < f.end {
+					// Aborted mid-flight: CU freed early, stores undone.
+					if f.undo != nil {
+						f.undo.Rollback()
+					}
+					at := u + d.Cfg.AbortNotice
+					if cuFree[f.cu] > at {
+						cuFree[f.cu] = at
+					}
+					res.Aborted++
+					continue
+				}
+			}
+			if f.end <= now {
+				res.Stats.Add(f.stats)
+				res.Executed++
+				continue
+			}
+			kept = append(kept, f)
+		}
+		fly = kept
+	}
+
+	for {
+		settle()
+		if next >= n && len(fly) == 0 {
+			return
+		}
+		// Earliest time anything changes without external input.
+		now := p.Now()
+		var target sim.Time = math.MaxFloat64
+		if next < n {
+			for _, t := range cuFree {
+				if t < target {
+					target = t
+				}
+			}
+		} else {
+			for _, f := range fly {
+				if f.end < target {
+					target = f.end
+				}
+			}
+		}
+		if target > now {
+			var changed *sim.Event
+			if l.Abort != nil && l.MidAbort {
+				changed = l.Abort.Changed()
+			}
+			if changed != nil {
+				p.WaitUntil(changed, target)
+			} else {
+				p.Sleep(target - now)
+			}
+			continue
+		}
+		if next >= n {
+			// Only waiting for in-flight groups; loop back to settle.
+			continue
+		}
+		// A compute unit is free now: issue the next work-group on it.
+		cu := 0
+		for i, t := range cuFree {
+			if t < cuFree[cu] {
+				cu = i
+			}
+		}
+		group := l.ND.GroupAt(next)
+		fgid := l.ND.FlatGroupID(group)
+		next++
+		if l.Abort != nil && l.Abort.DoneAt(fgid, now) {
+			cuFree[cu] = now + d.Cfg.SkipCost
+			res.Skipped++
+			continue
+		}
+		var undo *vm.UndoLog
+		var opts vm.ExecOpts
+		if l.Abort != nil && l.MidAbort {
+			undo = &vm.UndoLog{}
+			opts.Undo = undo
+		}
+		st, err := l.Kernel.ExecWorkGroup(l.ND, group, l.Args, opts)
+		if err != nil {
+			res.Err = err
+			return
+		}
+		dur := d.Cfg.WGTime(st, split) * float64(occupancy)
+		fly = append(fly, inflightWG{
+			fgid: fgid, cu: cu,
+			start: now, end: now + dur,
+			undo: undo, stats: st,
+		})
+		cuFree[cu] = now + dur
+	}
+}

@@ -1,0 +1,265 @@
+package harness
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quickRunner() *Runner {
+	r := NewRunner()
+	r.Quick = true
+	return r
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		ID: "x", Title: "demo", Note: "note line",
+		Columns: []string{"A", "BB"},
+	}
+	tab.AddRow("1", "2")
+	s := tab.String()
+	for _, want := range []string{"demo", "note line", "A", "BB", "1"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "A,BB\n1,2\n") {
+		t.Fatalf("CSV = %q", csv)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := geomean([]float64{2, 8}); g != 4 {
+		t.Fatalf("geomean = %v, want 4", g)
+	}
+	if g := geomean([]float64{1, 1, 1}); g != 1 {
+		t.Fatalf("geomean = %v, want 1", g)
+	}
+}
+
+func TestTable2Inventory(t *testing.T) {
+	tab, err := quickRunner().Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("%d rows, want 6", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "2MM" || tab.Rows[5][0] != "SYR2K" {
+		t.Fatalf("unexpected order: %v", tab.Rows)
+	}
+}
+
+func TestTable1BicgKernelsPreferDifferentDevices(t *testing.T) {
+	tab, err := quickRunner().Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(tab.Rows))
+	}
+	// The paper's Table 1 scenario: the two kernels prefer different devices.
+	if tab.Rows[0][3] == tab.Rows[1][3] {
+		t.Fatalf("both BICG kernels prefer %s; want opposite preferences\n%s", tab.Rows[0][3], tab)
+	}
+}
+
+func TestOverallShapes(t *testing.T) {
+	tab, err := quickRunner().Overall()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 7 { // 6 benchmarks + geomean
+		t.Fatalf("%d rows, want 7\n%s", len(tab.Rows), tab)
+	}
+	// Quick-scale kernels run tens of microseconds, so fixed per-kernel
+	// costs (uploads, subkernel launches, zombie-kernel drains) dominate;
+	// this test only guards against order-of-magnitude breakage. The real
+	// paper-shape bounds are asserted at full scale in
+	// TestOverallShapesFullScale.
+	for _, row := range tab.Rows[:6] {
+		fcl := parseF(t, row[3])
+		if fcl > 3.0 {
+			t.Errorf("%s: FluidiCL %.2fx worse than best single device\n%s", row[0], fcl, tab)
+		}
+	}
+	t.Logf("\n%s", tab)
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := quickRunner().Run("nope"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestExperimentAliases(t *testing.T) {
+	r := quickRunner()
+	a, err := r.Run("table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID != "table2" {
+		t.Fatalf("ID = %s", a.ID)
+	}
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("bad float %q", s)
+	}
+	return v
+}
+
+func TestOverallShapesFullScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiment; skipped with -short")
+	}
+	tab, err := NewRunner().Overall()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tab)
+	// Paper headline shapes at full scale: FluidiCL within ~15% of the
+	// best device on every benchmark (paper: ~3% on hardware-scale
+	// kernels), and at least matching the best device in geomean.
+	for _, row := range tab.Rows[:6] {
+		if fcl := parseF(t, row[3]); fcl > 1.2 {
+			t.Errorf("%s: FluidiCL %.2fx worse than best single device", row[0], fcl)
+		}
+	}
+	gm := parseF(t, tab.Rows[6][3])
+	if gm > 1.0 {
+		t.Errorf("FluidiCL geomean %.2f, want <= 1.0 (paper: beats the best device overall)", gm)
+	}
+	// FluidiCL must beat each single device overall (paper: 1.64x over
+	// GPU-only, 1.88x over CPU-only).
+	if cpu := parseF(t, tab.Rows[6][1]); cpu <= gm {
+		t.Errorf("CPU-only geomean %.2f not worse than FluidiCL %.2f", cpu, gm)
+	}
+	if gpu := parseF(t, tab.Rows[6][2]); gpu <= gm {
+		t.Errorf("GPU-only geomean %.2f not worse than FluidiCL %.2f", gpu, gm)
+	}
+}
+
+func TestFig15OptimizationShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiment; skipped with -short")
+	}
+	tab, err := NewRunner().Fig15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tab)
+	// Paper shape: disabling in-loop aborts or unrolling does not help in
+	// geomean; AllOpt is the best configuration overall.
+	gmNoAbort := parseF(t, tab.Rows[6][1])
+	gmNoUnroll := parseF(t, tab.Rows[6][2])
+	if gmNoAbort < 0.99 {
+		t.Errorf("NoAbortUnroll geomean %.3f beats AllOpt; expected >= 1", gmNoAbort)
+	}
+	if gmNoUnroll < 0.99 {
+		t.Errorf("NoUnroll geomean %.3f beats AllOpt; expected >= 1", gmNoUnroll)
+	}
+}
+
+func TestFig16SoclShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiment; skipped with -short")
+	}
+	tab, err := NewRunner().Fig16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tab)
+	// Paper shape: FluidiCL clearly beats the eager scheduler and at least
+	// matches calibrated dmda in geomean.
+	gmEager := parseF(t, tab.Rows[6][3])
+	gmDmda := parseF(t, tab.Rows[6][4])
+	gmFCL := parseF(t, tab.Rows[6][5])
+	if gmFCL >= gmEager {
+		t.Errorf("FluidiCL (%.2f) does not beat SOCL-eager (%.2f)", gmFCL, gmEager)
+	}
+	if gmFCL > gmDmda*1.02 {
+		t.Errorf("FluidiCL (%.2f) clearly worse than SOCL-dmda (%.2f)", gmFCL, gmDmda)
+	}
+}
+
+func TestFig2CurveShape(t *testing.T) {
+	tab, err := quickRunner().Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 11 {
+		t.Fatalf("%d rows, want 11 (0..100%%)", len(tab.Rows))
+	}
+	// 2MM must be best at (or very near) 100% GPU: the last row's 2MM cell
+	// should be the minimum of its column.
+	last := parseF(t, tab.Rows[10][1])
+	for i := 0; i < 9; i++ {
+		if parseF(t, tab.Rows[i][1]) < last-0.02 {
+			t.Fatalf("2MM best split is not ~100%% GPU:\n%s", tab)
+		}
+	}
+}
+
+func TestAblationRuns(t *testing.T) {
+	tab, err := quickRunner().Ablation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 7 {
+		t.Fatalf("%d rows, want 7", len(tab.Rows))
+	}
+	// The Full column is the normalization baseline.
+	for _, row := range tab.Rows {
+		if row[1] != "1.00" {
+			t.Fatalf("Full column not 1.00: %v", row)
+		}
+	}
+	if _, err := quickRunner().Run("ablation"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig17And18Structure(t *testing.T) {
+	r := quickRunner()
+	t17, err := r.Fig17()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t17.Columns) != 7 || len(t17.Rows) != 6 {
+		t.Fatalf("fig17 shape: %d cols %d rows", len(t17.Columns), len(t17.Rows))
+	}
+	t18, err := r.Fig18()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t18.Columns) != 6 || len(t18.Rows) != 6 {
+		t.Fatalf("fig18 shape: %d cols %d rows", len(t18.Columns), len(t18.Rows))
+	}
+	// The 2% column of fig18 is the baseline.
+	for _, row := range t18.Rows {
+		if row[3] != "1.00" {
+			t.Fatalf("fig18 2%% column not 1.00: %v", row)
+		}
+	}
+}
+
+func TestTable3Runs(t *testing.T) {
+	tab, err := quickRunner().Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 || len(tab.Rows[0]) != 4 {
+		t.Fatalf("table3 shape wrong: %v", tab.Rows)
+	}
+	for _, cell := range tab.Rows[0] {
+		if parseF(t, cell) <= 0 {
+			t.Fatalf("non-positive time in table3: %v", tab.Rows[0])
+		}
+	}
+}

@@ -1,0 +1,246 @@
+// Package ocl is a vendor-runtime-shaped host API over one simulated device:
+// contexts, buffers, programs, kernels and in-order command queues, mirroring
+// the OpenCL subset FluidiCL builds on (clCreateBuffer,
+// clEnqueueWriteBuffer/ReadBuffer, clEnqueueNDRangeKernel, clFinish).
+//
+// FluidiCL (package core) sits on top of two ocl.Context values — one for
+// the CPU OpenCL runtime, one for the GPU runtime — exactly as the paper's
+// Figure 4 shows it sitting on top of two vendor runtimes.
+package ocl
+
+import (
+	"fmt"
+
+	"fluidicl/internal/clc"
+	"fluidicl/internal/device"
+	"fluidicl/internal/sim"
+	"fluidicl/internal/vm"
+)
+
+// Context owns one device's resources (a vendor runtime instance).
+type Context struct {
+	Env *sim.Env
+	Dev *device.Device
+}
+
+// NewContext creates a context for dev.
+func NewContext(env *sim.Env, dev *device.Device) *Context {
+	return &Context{Env: env, Dev: dev}
+}
+
+// Buffer is a device-resident memory object.
+type Buffer struct {
+	Ctx  *Context
+	Size int
+	data []byte
+}
+
+// CreateBuffer allocates a device buffer of size bytes.
+func (c *Context) CreateBuffer(size int) *Buffer {
+	return &Buffer{Ctx: c, Size: size, data: make([]byte, size)}
+}
+
+// Bytes exposes the device-resident backing store. Host code must not touch
+// it directly; it exists so kernels and transfers can bind to it.
+func (b *Buffer) Bytes() []byte { return b.data }
+
+// Program is a compiled translation unit for this context's device.
+type Program struct {
+	Ctx     *Context
+	Source  string
+	Prog    *clc.Program
+	Info    *clc.ProgramInfo
+	kernels map[string]*vm.Kernel
+}
+
+// BuildProgram parses, checks and compiles MiniCL source for this device
+// (clBuildProgram). Transformation passes, if any, must have been applied to
+// the source already — this mirrors vendor runtimes compiling whatever
+// source they are handed.
+func (c *Context) BuildProgram(src string) (*Program, error) {
+	prog, err := clc.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("ocl: build failed: %w", err)
+	}
+	info, err := clc.Check(prog)
+	if err != nil {
+		return nil, fmt.Errorf("ocl: build failed: %w", err)
+	}
+	p := &Program{Ctx: c, Source: src, Prog: prog, Info: info, kernels: map[string]*vm.Kernel{}}
+	for name, ki := range info.Kernels {
+		k, err := vm.Compile(ki)
+		if err != nil {
+			return nil, fmt.Errorf("ocl: compiling kernel %q: %w", name, err)
+		}
+		p.kernels[name] = k
+	}
+	return p, nil
+}
+
+// Kernel is a kernel object from a built program (clCreateKernel).
+type Kernel struct {
+	Name string
+	VM   *vm.Kernel
+	Info *clc.KernelInfo
+}
+
+// CreateKernel looks up a kernel by name.
+func (p *Program) CreateKernel(name string) (*Kernel, error) {
+	k, ok := p.kernels[name]
+	if !ok {
+		return nil, fmt.Errorf("ocl: kernel %q not found", name)
+	}
+	return &Kernel{Name: name, VM: k, Info: p.Info.Kernels[name]}, nil
+}
+
+// MustKernel is CreateKernel for known-good names.
+func (p *Program) MustKernel(name string) *Kernel {
+	k, err := p.CreateKernel(name)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// ArgKind classifies kernel arguments at the API level.
+type ArgKind int
+
+// Argument kinds.
+const (
+	ArgBuf ArgKind = iota
+	ArgInt
+	ArgFloat
+)
+
+// Arg is a host-level kernel argument; buffer arguments name Buffer objects
+// and are bound to device bytes at enqueue time (clSetKernelArg).
+type Arg struct {
+	Kind ArgKind
+	Buf  *Buffer
+	I    int64
+	F    float64
+}
+
+// BufArg makes a buffer argument.
+func BufArg(b *Buffer) Arg { return Arg{Kind: ArgBuf, Buf: b} }
+
+// IntArg makes an int argument.
+func IntArg(v int64) Arg { return Arg{Kind: ArgInt, I: v} }
+
+// FloatArg makes a float argument.
+func FloatArg(v float64) Arg { return Arg{Kind: ArgFloat, F: v} }
+
+// bind lowers API args to VM args against this device's memory.
+func bind(args []Arg) []vm.Arg {
+	out := make([]vm.Arg, len(args))
+	for i, a := range args {
+		switch a.Kind {
+		case ArgBuf:
+			out[i] = vm.BufArg(a.Buf.data)
+		case ArgInt:
+			out[i] = vm.IntArg(a.I)
+		default:
+			out[i] = vm.FloatArg(a.F)
+		}
+	}
+	return out
+}
+
+// CommandQueue is an in-order command queue (clCreateCommandQueue).
+type CommandQueue struct {
+	Ctx *Context
+	q   *device.Queue
+}
+
+// CreateQueue creates a named in-order command queue.
+func (c *Context) CreateQueue(name string) *CommandQueue {
+	return &CommandQueue{Ctx: c, q: c.Dev.NewQueue(name)}
+}
+
+// EnqueueWriteBuffer copies host bytes into the device buffer
+// (clEnqueueWriteBuffer). src is read at transfer-completion time; callers
+// that reuse src must snapshot it first (FluidiCL does — paper §5.5).
+func (q *CommandQueue) EnqueueWriteBuffer(b *Buffer, src []byte) *sim.Event {
+	if len(src) > b.Size {
+		panic(fmt.Sprintf("ocl: write of %d bytes into %d-byte buffer", len(src), b.Size))
+	}
+	t := &device.Transfer{
+		Bytes: len(src),
+		Apply: func() { copy(b.data, src) },
+	}
+	q.q.Enqueue(t)
+	return t.Done
+}
+
+// EnqueueReadBuffer copies the device buffer into host bytes
+// (clEnqueueReadBuffer). dst is written at transfer-completion time.
+func (q *CommandQueue) EnqueueReadBuffer(b *Buffer, dst []byte) *sim.Event {
+	if len(dst) > b.Size {
+		panic(fmt.Sprintf("ocl: read of %d bytes from %d-byte buffer", len(dst), b.Size))
+	}
+	t := &device.Transfer{
+		Bytes: len(dst),
+		Apply: func() { copy(dst, b.data[:len(dst)]) },
+	}
+	q.q.Enqueue(t)
+	return t.Done
+}
+
+// EnqueueCopyBuffer copies src to dst within the device
+// (clEnqueueCopyBuffer); it does not cross the host link.
+func (q *CommandQueue) EnqueueCopyBuffer(src, dst *Buffer) *sim.Event {
+	if src.Size > dst.Size {
+		panic("ocl: copy source larger than destination")
+	}
+	n := src.Size
+	c := &device.Call{
+		Duration: q.Ctx.Dev.Cfg.CopyTime(n),
+		Fn:       func() { copy(dst.data[:n], src.data[:n]) },
+	}
+	q.q.Enqueue(c)
+	return c.Done
+}
+
+// LaunchOpts carries FluidiCL-level execution options through to the device.
+type LaunchOpts struct {
+	Abort    device.AbortQuery
+	MidAbort bool
+	Split    bool
+}
+
+// EnqueueNDRangeKernel enqueues a kernel execution
+// (clEnqueueNDRangeKernel). The returned result is populated when the
+// event fires.
+func (q *CommandQueue) EnqueueNDRangeKernel(k *Kernel, nd vm.NDRange, args []Arg, opts LaunchOpts) (*sim.Event, *device.LaunchResult) {
+	l := &device.Launch{
+		Kernel:   k.VM,
+		ND:       nd,
+		Args:     bind(args),
+		Abort:    opts.Abort,
+		MidAbort: opts.MidAbort,
+		Split:    opts.Split,
+	}
+	q.q.Enqueue(l)
+	return l.Done, l.Result
+}
+
+// EnqueueCall runs a host callback at this queue position (zero duration);
+// the returned event fires after the callback runs.
+func (q *CommandQueue) EnqueueCall(fn func()) *sim.Event {
+	c := &device.Call{Fn: fn}
+	q.q.Enqueue(c)
+	return c.Done
+}
+
+// EnqueueMarker returns an event that fires when all previously enqueued
+// commands have completed.
+func (q *CommandQueue) EnqueueMarker() *sim.Event {
+	c := &device.Call{}
+	q.q.Enqueue(c)
+	return c.Done
+}
+
+// Finish blocks the calling process until the queue drains (clFinish).
+func (q *CommandQueue) Finish(p *sim.Proc) {
+	p.Wait(q.EnqueueMarker())
+}

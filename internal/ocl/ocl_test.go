@@ -1,0 +1,292 @@
+package ocl
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"fluidicl/internal/device"
+	"fluidicl/internal/sim"
+	"fluidicl/internal/vm"
+)
+
+func f32buf(vals ...float32) []byte {
+	b := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(b[4*i:], math.Float32bits(v))
+	}
+	return b
+}
+
+func f32at(b []byte, i int) float32 {
+	return math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+}
+
+const vaddSrc = `
+__kernel void vadd(__global float* a, __global float* b, __global float* c, int n) {
+    int i = get_global_id(0);
+    if (i < n) { c[i] = a[i] + b[i]; }
+}
+`
+
+func TestFullHostProgramFlow(t *testing.T) {
+	env := sim.NewEnv()
+	ctx := NewContext(env, device.New(env, device.TeslaC2070()))
+	prog, err := ctx.BuildProgram(vaddSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := prog.CreateKernel("vadd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 64
+	a := make([]float32, n)
+	b := make([]float32, n)
+	for i := range a {
+		a[i], b[i] = float32(i), 1
+	}
+	bufA := ctx.CreateBuffer(4 * n)
+	bufB := ctx.CreateBuffer(4 * n)
+	bufC := ctx.CreateBuffer(4 * n)
+	out := make([]byte, 4*n)
+	q := ctx.CreateQueue("app")
+	env.Go("host", func(p *sim.Proc) {
+		q.EnqueueWriteBuffer(bufA, f32buf(a...))
+		q.EnqueueWriteBuffer(bufB, f32buf(b...))
+		q.EnqueueNDRangeKernel(k, vm.NewNDRange1D(n, 16),
+			[]Arg{BufArg(bufA), BufArg(bufB), BufArg(bufC), IntArg(int64(n))}, LaunchOpts{})
+		p.Wait(q.EnqueueReadBuffer(bufC, out))
+	})
+	env.Run()
+	for i := 0; i < n; i++ {
+		if got := f32at(out, i); got != float32(i)+1 {
+			t.Fatalf("out[%d] = %v, want %v", i, got, float32(i)+1)
+		}
+	}
+	if env.Now() <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+}
+
+func TestBuildError(t *testing.T) {
+	env := sim.NewEnv()
+	ctx := NewContext(env, device.New(env, device.XeonW3550()))
+	if _, err := ctx.BuildProgram("__kernel void f() { undefined_var = 1; }"); err == nil {
+		t.Fatal("expected build error")
+	}
+	if _, err := ctx.BuildProgram("not a kernel at all"); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestCreateKernelUnknownName(t *testing.T) {
+	env := sim.NewEnv()
+	ctx := NewContext(env, device.New(env, device.XeonW3550()))
+	prog, err := ctx.BuildProgram(vaddSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prog.CreateKernel("nope"); err == nil {
+		t.Fatal("expected unknown-kernel error")
+	}
+}
+
+func TestCopyBufferStaysOnDevice(t *testing.T) {
+	env := sim.NewEnv()
+	ctx := NewContext(env, device.New(env, device.TeslaC2070()))
+	q := ctx.CreateQueue("app")
+	src := ctx.CreateBuffer(16)
+	dst := ctx.CreateBuffer(16)
+	var copyDone sim.Time
+	env.Go("host", func(p *sim.Proc) {
+		p.Wait(q.EnqueueWriteBuffer(src, []byte{9, 9, 9, 9, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}))
+		after := p.Now()
+		p.Wait(q.EnqueueCopyBuffer(src, dst))
+		copyDone = p.Now() - after
+	})
+	env.Run()
+	if dst.Bytes()[0] != 9 {
+		t.Fatal("copy did not happen")
+	}
+	// Device-internal copy must be much cheaper than a PCIe round trip.
+	if copyDone >= ctx.Dev.Cfg.Link.TransferTime(16) {
+		t.Fatalf("internal copy took %v, not cheaper than link transfer %v",
+			copyDone, ctx.Dev.Cfg.Link.TransferTime(16))
+	}
+}
+
+func TestFinishWaitsForAllCommands(t *testing.T) {
+	env := sim.NewEnv()
+	ctx := NewContext(env, device.New(env, device.TeslaC2070()))
+	q := ctx.CreateQueue("app")
+	buf := ctx.CreateBuffer(1 << 20)
+	var finishAt sim.Time
+	env.Go("host", func(p *sim.Proc) {
+		q.EnqueueWriteBuffer(buf, make([]byte, 1<<20))
+		q.EnqueueWriteBuffer(buf, make([]byte, 1<<20))
+		q.Finish(p)
+		finishAt = p.Now()
+	})
+	env.Run()
+	want := 2 * ctx.Dev.Cfg.Link.TransferTime(1<<20)
+	if math.Abs(finishAt-want) > 1e-9 {
+		t.Fatalf("Finish at %v, want %v", finishAt, want)
+	}
+}
+
+func TestWriteSizeValidation(t *testing.T) {
+	env := sim.NewEnv()
+	ctx := NewContext(env, device.New(env, device.TeslaC2070()))
+	q := ctx.CreateQueue("app")
+	buf := ctx.CreateBuffer(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized write not rejected")
+		}
+	}()
+	q.EnqueueWriteBuffer(buf, make([]byte, 8))
+}
+
+func TestOutInOutAnalysisExposed(t *testing.T) {
+	env := sim.NewEnv()
+	ctx := NewContext(env, device.New(env, device.XeonW3550()))
+	prog, err := ctx.BuildProgram(vaddSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := prog.MustKernel("vadd")
+	if !k.Info.ParamAccess["c"].Out() {
+		t.Fatal("c should be out-only")
+	}
+	if !k.Info.ParamAccess["a"].In() {
+		t.Fatal("a should be in-only")
+	}
+}
+
+func TestTwoContextsShareNothing(t *testing.T) {
+	env := sim.NewEnv()
+	gpu := NewContext(env, device.New(env, device.TeslaC2070()))
+	cpu := NewContext(env, device.New(env, device.XeonW3550()))
+	bg := gpu.CreateBuffer(4)
+	bc := cpu.CreateBuffer(4)
+	qg := gpu.CreateQueue("g")
+	env.Go("host", func(p *sim.Proc) {
+		p.Wait(qg.EnqueueWriteBuffer(bg, []byte{1, 2, 3, 4}))
+	})
+	env.Run()
+	if bc.Bytes()[0] != 0 {
+		t.Fatal("CPU buffer affected by GPU write: address spaces not discrete")
+	}
+	if bg.Bytes()[0] != 1 {
+		t.Fatal("GPU write lost")
+	}
+}
+
+func TestLaunchResultPopulated(t *testing.T) {
+	env := sim.NewEnv()
+	ctx := NewContext(env, device.New(env, device.TeslaC2070()))
+	prog, err := ctx.BuildProgram(vaddSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := prog.MustKernel("vadd")
+	n := 64
+	bufs := []*Buffer{ctx.CreateBuffer(4 * n), ctx.CreateBuffer(4 * n), ctx.CreateBuffer(4 * n)}
+	q := ctx.CreateQueue("app")
+	var res *device.LaunchResult
+	env.Go("host", func(p *sim.Proc) {
+		ev, r := q.EnqueueNDRangeKernel(k, vm.NewNDRange1D(n, 16),
+			[]Arg{BufArg(bufs[0]), BufArg(bufs[1]), BufArg(bufs[2]), IntArg(int64(n))}, LaunchOpts{})
+		p.Wait(ev)
+		res = r
+	})
+	env.Run()
+	if res == nil || res.Executed != 4 || !res.Started || res.Err != nil {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Stats.WorkItems != n {
+		t.Fatalf("stats work-items = %d, want %d", res.Stats.WorkItems, n)
+	}
+}
+
+func TestQueuesOnSameDeviceShareTheLink(t *testing.T) {
+	env := sim.NewEnv()
+	ctx := NewContext(env, device.New(env, device.TeslaC2070()))
+	q1 := ctx.CreateQueue("a")
+	q2 := ctx.CreateQueue("b")
+	n := 1 << 20
+	b1, b2 := ctx.CreateBuffer(n), ctx.CreateBuffer(n)
+	env.Go("host", func(p *sim.Proc) {
+		e1 := q1.EnqueueWriteBuffer(b1, make([]byte, n))
+		e2 := q2.EnqueueWriteBuffer(b2, make([]byte, n))
+		p.WaitAll(e1, e2)
+	})
+	env.Run()
+	one := ctx.Dev.Cfg.Link.TransferTime(n)
+	if env.Now() < 1.9*one {
+		t.Fatalf("transfers overlapped on one link: %v < %v", env.Now(), 2*one)
+	}
+}
+
+func TestEnqueueCallOrdering(t *testing.T) {
+	env := sim.NewEnv()
+	ctx := NewContext(env, device.New(env, device.XeonW3550()))
+	q := ctx.CreateQueue("app")
+	var order []int
+	env.Go("host", func(p *sim.Proc) {
+		q.EnqueueWriteBuffer(ctx.CreateBuffer(1024), make([]byte, 1024))
+		q.EnqueueCall(func() { order = append(order, 1) })
+		q.EnqueueWriteBuffer(ctx.CreateBuffer(1024), make([]byte, 1024))
+		ev := q.EnqueueCall(func() { order = append(order, 2) })
+		p.Wait(ev)
+	})
+	env.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestReadSizeValidation(t *testing.T) {
+	env := sim.NewEnv()
+	ctx := NewContext(env, device.New(env, device.TeslaC2070()))
+	q := ctx.CreateQueue("app")
+	buf := ctx.CreateBuffer(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized read not rejected")
+		}
+	}()
+	q.EnqueueReadBuffer(buf, make([]byte, 8))
+}
+
+func TestCopySizeValidation(t *testing.T) {
+	env := sim.NewEnv()
+	ctx := NewContext(env, device.New(env, device.TeslaC2070()))
+	q := ctx.CreateQueue("app")
+	src, dst := ctx.CreateBuffer(8), ctx.CreateBuffer(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized copy not rejected")
+		}
+	}()
+	q.EnqueueCopyBuffer(src, dst)
+}
+
+func TestPartialRead(t *testing.T) {
+	env := sim.NewEnv()
+	ctx := NewContext(env, device.New(env, device.TeslaC2070()))
+	q := ctx.CreateQueue("app")
+	buf := ctx.CreateBuffer(16)
+	dst := make([]byte, 8)
+	env.Go("host", func(p *sim.Proc) {
+		p.Wait(q.EnqueueWriteBuffer(buf, []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}))
+		p.Wait(q.EnqueueReadBuffer(buf, dst))
+	})
+	env.Run()
+	for i := 0; i < 8; i++ {
+		if dst[i] != byte(i+1) {
+			t.Fatalf("dst[%d] = %d", i, dst[i])
+		}
+	}
+}

@@ -1,0 +1,262 @@
+package polybench
+
+import (
+	"testing"
+
+	"fluidicl/internal/core"
+	"fluidicl/internal/sched"
+)
+
+// small returns reduced-size benchmarks for fast cross-scheduler testing.
+func small() []*Benchmark {
+	return []*Benchmark{
+		TwoMM(48, 48, 48),
+		Bicg(128),
+		Corr(48, 64),
+		Gesummv(128),
+		Syrk(48, 48),
+		Syr2k(48, 48),
+	}
+}
+
+func TestReferenceAgainstCPUDevice(t *testing.T) {
+	m := sched.DefaultMachine()
+	for _, b := range small() {
+		r, err := sched.RunSingle(m.CPU, b.App)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if err := b.Verify(r.Outputs); err != nil {
+			t.Fatalf("CPU-only: %v", err)
+		}
+		if r.Time <= 0 {
+			t.Fatalf("%s: no time elapsed", b.Name)
+		}
+	}
+}
+
+func TestReferenceAgainstGPUDevice(t *testing.T) {
+	m := sched.DefaultMachine()
+	for _, b := range small() {
+		r, err := sched.RunSingle(m.GPU, b.App)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if err := b.Verify(r.Outputs); err != nil {
+			t.Fatalf("GPU-only: %v", err)
+		}
+	}
+}
+
+func TestStaticPartitionCorrect(t *testing.T) {
+	m := sched.DefaultMachine()
+	for _, b := range small() {
+		for _, pct := range []int{30, 50, 80} {
+			r, err := sched.RunStatic(m, b.App, pct)
+			if err != nil {
+				t.Fatalf("%s @%d%%: %v", b.Name, pct, err)
+			}
+			if err := b.Verify(r.Outputs); err != nil {
+				t.Fatalf("static %d%%: %v", pct, err)
+			}
+		}
+	}
+}
+
+func TestFluidiCLCorrect(t *testing.T) {
+	m := sched.DefaultMachine()
+	for _, b := range small() {
+		r, err := sched.RunFluidiCL(m, b.App, core.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if err := b.Verify(r.Outputs); err != nil {
+			t.Fatalf("FluidiCL: %v", err)
+		}
+		if len(r.Reports) != len(b.App.Launches) {
+			t.Fatalf("%s: %d reports for %d launches", b.Name, len(r.Reports), len(b.App.Launches))
+		}
+	}
+}
+
+func TestSoclEagerCorrect(t *testing.T) {
+	m := sched.DefaultMachine()
+	for _, b := range small() {
+		r, err := sched.RunSocl(m, b.App, sched.Eager, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if err := b.Verify(r.Outputs); err != nil {
+			t.Fatalf("eager: %v", err)
+		}
+	}
+}
+
+func TestSoclDmdaCorrect(t *testing.T) {
+	m := sched.DefaultMachine()
+	for _, b := range small() {
+		model, err := sched.CalibrateDmda(m, b.App)
+		if err != nil {
+			t.Fatalf("%s calibration: %v", b.Name, err)
+		}
+		r, err := sched.RunSocl(m, b.App, sched.Dmda, model)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if err := b.Verify(r.Outputs); err != nil {
+			t.Fatalf("dmda: %v", err)
+		}
+	}
+}
+
+func TestCorrVariantBitIdentical(t *testing.T) {
+	// The hand-optimized CPU kernel must produce bit-identical results.
+	m := sched.DefaultMachine()
+	b := CorrWithVariant(48, 64)
+	r, err := sched.RunFluidiCL(m, b.App, core.Options{OnlineProfiling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Verify(r.Outputs); err != nil {
+		t.Fatalf("with CPU variant: %v", err)
+	}
+}
+
+func TestDefaultBenchmarksMetadata(t *testing.T) {
+	all := All()
+	if len(all) != 6 {
+		t.Fatalf("got %d benchmarks, want 6", len(all))
+	}
+	wantNames := []string{"2MM", "BICG", "CORR", "GESUMMV", "SYRK", "SYR2K"}
+	wantKernels := []int{2, 2, 4, 1, 1, 1}
+	for i, b := range all {
+		if b.Name != wantNames[i] {
+			t.Fatalf("benchmark %d = %s, want %s", i, b.Name, wantNames[i])
+		}
+		if len(b.App.Launches) != wantKernels[i] {
+			t.Fatalf("%s has %d kernels, want %d", b.Name, len(b.App.Launches), wantKernels[i])
+		}
+		if len(b.Expected) == 0 {
+			t.Fatalf("%s has no reference outputs", b.Name)
+		}
+	}
+	if _, err := ByName("SYRK"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("NOPE"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	b := Gesummv(32)
+	m := sched.DefaultMachine()
+	r, err := sched.RunSingle(m.CPU, b.App)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Outputs["y"][0] ^= 0x40
+	if err := b.Verify(r.Outputs); err == nil {
+		t.Fatal("corrupted output accepted")
+	}
+	delete(r.Outputs, "y")
+	if err := b.Verify(r.Outputs); err == nil {
+		t.Fatal("missing output accepted")
+	}
+}
+
+func TestDataGenDeterministic(t *testing.T) {
+	a := newGen(7).slice(100)
+	b := newGen(7).slice(100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("data generation not deterministic")
+		}
+		if a[i] < 0.25 || a[i] >= 1.25 {
+			t.Fatalf("value %v out of range", a[i])
+		}
+	}
+	c := newGen(8).slice(100)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatal("different seeds produce suspiciously similar data")
+	}
+}
+
+func smallExtras() []*Benchmark {
+	return []*Benchmark{
+		Atax(128),
+		Mvt(128),
+		Gemm(48, 48, 48),
+		TwoDConv(64),
+	}
+}
+
+func TestExtrasCorrectEverywhere(t *testing.T) {
+	m := sched.DefaultMachine()
+	for _, b := range smallExtras() {
+		cpu, err := sched.RunSingle(m.CPU, b.App)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if err := b.Verify(cpu.Outputs); err != nil {
+			t.Fatalf("CPU: %v", err)
+		}
+		gpu, err := sched.RunSingle(m.GPU, b.App)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if err := b.Verify(gpu.Outputs); err != nil {
+			t.Fatalf("GPU: %v", err)
+		}
+		fcl, err := sched.RunFluidiCL(m, b.App, core.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if err := b.Verify(fcl.Outputs); err != nil {
+			t.Fatalf("FluidiCL: %v", err)
+		}
+		st, err := sched.RunStatic(m, b.App, 50)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if err := b.Verify(st.Outputs); err != nil {
+			t.Fatalf("static: %v", err)
+		}
+	}
+}
+
+func TestAtaxKernelsPreferDifferentDevices(t *testing.T) {
+	m := sched.DefaultMachine()
+	b := Atax(512)
+	cpu, err := sched.RunSingle(m.CPU, b.App)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpu, err := sched.RunSingle(m.GPU, b.App)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu.LaunchTimes[0] >= gpu.LaunchTimes[0] {
+		t.Fatalf("atax_kernel1 should prefer CPU: cpu=%v gpu=%v", cpu.LaunchTimes[0], gpu.LaunchTimes[0])
+	}
+	if gpu.LaunchTimes[1] >= cpu.LaunchTimes[1] {
+		t.Fatalf("atax_kernel2 should prefer GPU: cpu=%v gpu=%v", cpu.LaunchTimes[1], gpu.LaunchTimes[1])
+	}
+}
+
+func TestByNameFindsExtras(t *testing.T) {
+	for _, name := range []string{"ATAX", "MVT", "GEMM", "2DCONV"} {
+		if _, err := ByName(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(AllWithExtras()); got != 10 {
+		t.Fatalf("AllWithExtras = %d benchmarks, want 10", got)
+	}
+}

@@ -1,0 +1,187 @@
+// Package sched defines a device-agnostic application description and the
+// baseline execution strategies the paper compares FluidiCL against:
+//
+//   - single-device execution through a vendor runtime (CPU-only, GPU-only);
+//   - static work partitioning with x% of work-groups on the GPU, and the
+//     OracleSP sweep that picks the best static split (§9.1);
+//   - a StarPU/SOCL-like task scheduler with the `eager` policy and the
+//     history-model-based `dmda` policy that requires calibration (§9.4).
+package sched
+
+import (
+	"fmt"
+
+	"fluidicl/internal/core"
+	"fluidicl/internal/device"
+	"fluidicl/internal/sim"
+	"fluidicl/internal/vm"
+)
+
+// ArgKind classifies launch arguments.
+type ArgKind int
+
+// Argument kinds.
+const (
+	ArgBuf ArgKind = iota
+	ArgInt
+	ArgFloat
+)
+
+// ArgSpec is one kernel argument in an application description.
+type ArgSpec struct {
+	Kind ArgKind
+	Name string // buffer name for ArgBuf
+	I    int64
+	F    float64
+}
+
+// Buf references a named application buffer.
+func Buf(name string) ArgSpec { return ArgSpec{Kind: ArgBuf, Name: name} }
+
+// Int is an int argument.
+func Int(v int64) ArgSpec { return ArgSpec{Kind: ArgInt, I: v} }
+
+// Float is a float argument.
+func Float(v float64) ArgSpec { return ArgSpec{Kind: ArgFloat, F: v} }
+
+// Launch is one kernel enqueue in program order.
+type Launch struct {
+	Kernel string
+	ND     vm.NDRange
+	Args   []ArgSpec
+}
+
+// Variant is an alternate CPU implementation of a kernel (§6.6).
+type Variant struct {
+	Kernel string // kernel it replaces
+	Source string
+	Name   string
+}
+
+// App is a single-device OpenCL program: sources, buffers, input data and a
+// sequence of kernel launches. Every execution strategy runs the same App.
+type App struct {
+	Name     string
+	Source   string
+	Buffers  map[string]int    // name -> size in bytes
+	Inputs   map[string][]byte // initial contents (missing buffers start zeroed)
+	Launches []Launch
+	Outputs  []string // buffers read back at the end
+	Variants []Variant
+}
+
+// Result is one application execution: total virtual running time (data
+// transfers included, platform initialization excluded — the paper's
+// methodology, §8) and the final output buffers.
+type Result struct {
+	Time    sim.Time
+	Outputs map[string][]byte
+	// LaunchTimes records per-launch kernel durations (single-device runs
+	// only; used for Table 1 and dmda calibration).
+	LaunchTimes []sim.Time
+	Reports     []*core.KernelReport // FluidiCL runs only
+}
+
+// Machine bundles the device models for a run.
+type Machine struct {
+	CPU device.Config
+	GPU device.Config
+}
+
+// DefaultMachine is the paper's experimental system (§8): a Tesla C2070
+// and a quad-core Xeon W3550 with hyper-threading.
+func DefaultMachine() Machine {
+	return Machine{CPU: device.XeonW3550(), GPU: device.TeslaC2070()}
+}
+
+// RunFluidiCL executes the app under the FluidiCL runtime.
+func RunFluidiCL(m Machine, app *App, opts core.Options) (*Result, error) {
+	return RunFluidiCLRepeat(m, app, opts, 1)
+}
+
+// RunFluidiCLRepeat executes the app `times` times in one FluidiCL runtime
+// and reports the last iteration (the paper's methodology excludes the
+// first run, §8 — which is also when online profiling learns which kernel
+// version is fastest, §6.6).
+func RunFluidiCLRepeat(m Machine, app *App, opts core.Options, times int) (*Result, error) {
+	env := sim.NewEnv()
+	rt, err := core.New(env, device.New(env, m.CPU), device.New(env, m.GPU), opts)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := rt.BuildProgram(app.Source)
+	if err != nil {
+		return nil, err
+	}
+	kernels := map[string]*core.Kernel{}
+	for _, l := range app.Launches {
+		if _, ok := kernels[l.Kernel]; ok {
+			continue
+		}
+		k, err := prog.CreateKernel(l.Kernel)
+		if err != nil {
+			return nil, err
+		}
+		kernels[l.Kernel] = k
+	}
+	for _, v := range app.Variants {
+		k, ok := kernels[v.Kernel]
+		if !ok {
+			return nil, fmt.Errorf("sched: variant for unknown kernel %q", v.Kernel)
+		}
+		if err := k.AddCPUVariant(v.Source, v.Name); err != nil {
+			return nil, err
+		}
+	}
+	bufs := map[string]*core.Buffer{}
+	for name, size := range app.Buffers {
+		bufs[name] = rt.CreateBuffer(size)
+	}
+	if times < 1 {
+		times = 1
+	}
+	res := &Result{Outputs: map[string][]byte{}}
+	var runErr error
+	env.Go("app", func(p *sim.Proc) {
+		for iter := 0; iter < times; iter++ {
+			start := p.Now()
+			for name, b := range bufs {
+				data := app.Inputs[name]
+				if data == nil {
+					data = make([]byte, app.Buffers[name])
+				}
+				rt.EnqueueWriteBuffer(p, b, data)
+			}
+			for _, l := range app.Launches {
+				args := make([]core.Arg, len(l.Args))
+				for i, a := range l.Args {
+					switch a.Kind {
+					case ArgBuf:
+						args[i] = core.BufArg(bufs[a.Name])
+					case ArgInt:
+						args[i] = core.IntArg(a.I)
+					default:
+						args[i] = core.FloatArg(a.F)
+					}
+				}
+				if err := rt.EnqueueNDRangeKernel(p, kernels[l.Kernel], l.ND, args); err != nil {
+					runErr = err
+					return
+				}
+			}
+			for _, name := range app.Outputs {
+				res.Outputs[name] = rt.EnqueueReadBuffer(p, bufs[name])
+			}
+			res.Time = p.Now() - start
+		}
+	})
+	env.Run()
+	if runErr != nil {
+		return nil, runErr
+	}
+	if res.Time == 0 && len(app.Launches) > 0 {
+		return nil, fmt.Errorf("sched: FluidiCL run of %s did not complete", app.Name)
+	}
+	res.Reports = rt.Reports
+	return res, nil
+}

@@ -1,0 +1,374 @@
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fluidicl/internal/clc"
+)
+
+// Differential testing: generate random MiniCL kernels, execute them through
+// the bytecode compiler+VM and through the independent AST interpreter
+// (ref.go), and require bit-identical buffer contents. A miscompilation
+// would have to be mirrored by an identical interpreter bug to slip through.
+
+// progGen generates random—but deterministic, well-typed, terminating—kernels.
+type progGen struct {
+	r      *rand.Rand
+	b      strings.Builder
+	indent int
+	// in-scope variable names by type; the first nRO entries of ints are
+	// read-only (parameters like n, whose mutation would break the
+	// safe-index/safe-divisor invariants).
+	ints   []string
+	nROInt int
+	floats []string
+	nVars  int
+	nLoops int
+	depth  int
+}
+
+func (g *progGen) w(format string, args ...interface{}) {
+	g.b.WriteString(strings.Repeat("    ", g.indent))
+	fmt.Fprintf(&g.b, format, args...)
+	g.b.WriteString("\n")
+}
+
+func (g *progGen) freshVar() string {
+	g.nVars++
+	return fmt.Sprintf("v%d", g.nVars)
+}
+
+// intExpr produces a random int-typed expression using in-scope variables.
+func (g *progGen) intExpr(depth int) string {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		switch g.r.Intn(3) {
+		case 0:
+			return fmt.Sprintf("%d", g.r.Intn(21)-10)
+		case 1:
+			if len(g.ints) > 0 {
+				return g.ints[g.r.Intn(len(g.ints))]
+			}
+			return "i"
+		default:
+			return "i"
+		}
+	}
+	switch g.r.Intn(8) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", g.intExpr(depth-1), g.intExpr(depth-1))
+	case 1:
+		return fmt.Sprintf("(%s - %s)", g.intExpr(depth-1), g.intExpr(depth-1))
+	case 2:
+		return fmt.Sprintf("(%s * %s)", g.intExpr(depth-1), g.intExpr(depth-1))
+	case 3:
+		// Division and modulo by a guaranteed-nonzero constant.
+		return fmt.Sprintf("(%s %s %d)", g.intExpr(depth-1),
+			[]string{"/", "%"}[g.r.Intn(2)], g.r.Intn(9)+1)
+	case 4:
+		return fmt.Sprintf("min(%s, %s)", g.intExpr(depth-1), g.intExpr(depth-1))
+	case 5:
+		return fmt.Sprintf("max(abs(%s), %s)", g.intExpr(depth-1), g.intExpr(depth-1))
+	case 6:
+		return fmt.Sprintf("(%s ? %s : %s)", g.boolExpr(depth-1), g.intExpr(depth-1), g.intExpr(depth-1))
+	default:
+		return fmt.Sprintf("(int)%s", g.floatExpr(depth-1))
+	}
+}
+
+func (g *progGen) floatExpr(depth int) string {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		switch g.r.Intn(3) {
+		case 0:
+			return fmt.Sprintf("%.3ff", g.r.Float64()*8-4)
+		case 1:
+			if len(g.floats) > 0 {
+				return g.floats[g.r.Intn(len(g.floats))]
+			}
+			return "fp"
+		default:
+			return "fp"
+		}
+	}
+	switch g.r.Intn(8) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", g.floatExpr(depth-1), g.floatExpr(depth-1))
+	case 1:
+		return fmt.Sprintf("(%s - %s)", g.floatExpr(depth-1), g.floatExpr(depth-1))
+	case 2:
+		return fmt.Sprintf("(%s * %s)", g.floatExpr(depth-1), g.floatExpr(depth-1))
+	case 3:
+		// Divide by something bounded away from zero.
+		return fmt.Sprintf("(%s / (fabs(%s) + 1.0f))", g.floatExpr(depth-1), g.floatExpr(depth-1))
+	case 4:
+		return fmt.Sprintf("sqrt(fabs(%s))", g.floatExpr(depth-1))
+	case 5:
+		return fmt.Sprintf("fmin(%s, fmax(%s, -8.0f))", g.floatExpr(depth-1), g.floatExpr(depth-1))
+	case 6:
+		return fmt.Sprintf("(%s ? %s : %s)", g.boolExpr(depth-1), g.floatExpr(depth-1), g.floatExpr(depth-1))
+	default:
+		return fmt.Sprintf("(float)%s", g.intExpr(depth-1))
+	}
+}
+
+func (g *progGen) boolExpr(depth int) string {
+	if depth <= 0 {
+		return fmt.Sprintf("(%s < %s)", g.intExpr(0), g.intExpr(0))
+	}
+	switch g.r.Intn(5) {
+	case 0:
+		return fmt.Sprintf("(%s %s %s)", g.intExpr(depth-1),
+			[]string{"<", "<=", ">", ">=", "==", "!="}[g.r.Intn(6)], g.intExpr(depth-1))
+	case 1:
+		return fmt.Sprintf("(%s %s %s)", g.floatExpr(depth-1),
+			[]string{"<", "<=", ">", ">="}[g.r.Intn(4)], g.floatExpr(depth-1))
+	case 2:
+		return fmt.Sprintf("(%s && %s)", g.boolExpr(depth-1), g.boolExpr(depth-1))
+	case 3:
+		return fmt.Sprintf("(%s || %s)", g.boolExpr(depth-1), g.boolExpr(depth-1))
+	default:
+		return fmt.Sprintf("(!%s)", g.boolExpr(depth-1))
+	}
+}
+
+func (g *progGen) stmts(budget int) {
+	for s := 0; s < budget; s++ {
+		switch g.r.Intn(10) {
+		case 0, 1:
+			v := g.freshVar()
+			g.w("int %s = %s;", v, g.intExpr(2))
+			g.ints = append(g.ints, v)
+		case 2, 3:
+			v := g.freshVar()
+			g.w("float %s = %s;", v, g.floatExpr(2))
+			g.floats = append(g.floats, v)
+		case 4:
+			if len(g.ints) > g.nROInt {
+				v := g.ints[g.nROInt+g.r.Intn(len(g.ints)-g.nROInt)]
+				g.w("%s %s %s;", v, []string{"=", "+=", "-=", "*="}[g.r.Intn(4)], g.intExpr(2))
+			}
+		case 5:
+			if len(g.floats) > 0 {
+				v := g.floats[g.r.Intn(len(g.floats))]
+				g.w("%s %s %s;", v, []string{"=", "+=", "-=", "*="}[g.r.Intn(4)], g.floatExpr(2))
+			}
+		case 6:
+			if g.depth < 2 {
+				g.depth++
+				g.w("if (%s) {", g.boolExpr(2))
+				g.indent++
+				nI, nF := len(g.ints), len(g.floats)
+				g.stmts(budget / 2)
+				g.ints, g.floats = g.ints[:nI], g.floats[:nF]
+				g.indent--
+				if g.r.Intn(2) == 0 {
+					g.w("} else {")
+					g.indent++
+					g.stmts(budget / 2)
+					g.ints, g.floats = g.ints[:nI], g.floats[:nF]
+					g.indent--
+				}
+				g.w("}")
+				g.depth--
+			}
+		case 7:
+			if g.depth < 2 {
+				g.depth++
+				g.nLoops++
+				l := fmt.Sprintf("l%d", g.nLoops)
+				g.w("for (int %s = 0; %s < %d; %s++) {", l, l, g.r.Intn(6)+1, l)
+				g.indent++
+				// Loop counters are readable but never assignment targets
+				// (mutating one could diverge the two engines' step
+				// budgets): insert into the read-only prefix.
+				g.ints = append(g.ints, "")
+				copy(g.ints[g.nROInt+1:], g.ints[g.nROInt:])
+				g.ints[g.nROInt] = l
+				g.nROInt++
+				nI, nF := len(g.ints), len(g.floats)
+				g.stmts(budget / 2)
+				g.ints, g.floats = g.ints[:nI], g.floats[:nF]
+				g.nROInt--
+				g.ints = append(g.ints[:g.nROInt], g.ints[g.nROInt+1:]...)
+				g.indent--
+				g.w("}")
+				g.depth--
+			}
+		case 8:
+			// Buffer update at a safe index.
+			g.w("fbuf[abs(%s) %% n] = %s;", g.intExpr(1), g.floatExpr(2))
+		case 9:
+			g.w("ibuf[abs(%s) %% n] = %s;", g.intExpr(1), g.intExpr(2))
+		}
+	}
+}
+
+func (g *progGen) generate() string {
+	g.b.Reset()
+	g.w("__kernel void diff(__global float* fbuf, __global int* ibuf, int n, int p1, float fp) {")
+	g.indent++
+	g.w("int i = get_global_id(0);")
+	g.w("if (i < n) {")
+	g.indent++
+	g.ints = []string{"i", "n", "p1"}
+	g.nROInt = 2 // i and n are read-only (index and divisor safety)
+	g.floats = []string{"fp"}
+	g.stmts(8)
+	g.w("fbuf[i] = %s;", g.floatExpr(3))
+	g.w("ibuf[i] = %s;", g.intExpr(3))
+	g.indent--
+	g.w("}")
+	g.indent--
+	g.w("}")
+	return g.b.String()
+}
+
+func TestDifferentialVMvsReference(t *testing.T) {
+	const trials = 50
+	n := 32
+	for seed := 0; seed < trials; seed++ {
+		g := &progGen{r: rand.New(rand.NewSource(int64(seed)))}
+		src := g.generate()
+
+		ki, err := clc.FindKernelInfo(src, "diff")
+		if err != nil {
+			t.Fatalf("seed %d: generated program does not check: %v\n%s", seed, err, src)
+		}
+		k, err := Compile(ki)
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v\n%s", seed, err, src)
+		}
+
+		mkBufs := func() ([]byte, []byte) {
+			fb := make([]byte, 4*n)
+			ib := make([]byte, 4*n)
+			r := rand.New(rand.NewSource(int64(seed) * 7))
+			for i := 0; i < n; i++ {
+				binary.LittleEndian.PutUint32(fb[4*i:], math.Float32bits(float32(r.Float64()*16-8)))
+				binary.LittleEndian.PutUint32(ib[4*i:], uint32(int32(r.Intn(41)-20)))
+			}
+			return fb, ib
+		}
+
+		nd := NewNDRange1D(n, 16)
+		p1 := int64(seed%13 - 6)
+		fp := float64(seed%17)/3 - 2
+
+		fbVM, ibVM := mkBufs()
+		_, vmErr := k.ExecLaunch(nd, []Arg{BufArg(fbVM), BufArg(ibVM), IntArg(int64(n)), IntArg(p1), FloatArg(fp)}, ExecOpts{})
+
+		ref, err := NewRefExec(ki)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fbRef, ibRef := mkBufs()
+		var refErr error
+		for gi := 0; gi < nd.LaunchGroups() && refErr == nil; gi++ {
+			refErr = ref.ExecWorkGroup(nd, nd.GroupAt(gi),
+				[]Arg{BufArg(fbRef), BufArg(ibRef), IntArg(int64(n)), IntArg(p1), FloatArg(fp)})
+		}
+
+		if (vmErr == nil) != (refErr == nil) {
+			t.Fatalf("seed %d: error disagreement: vm=%v ref=%v\n%s", seed, vmErr, refErr, src)
+		}
+		if vmErr != nil {
+			continue
+		}
+		for i := 0; i < 4*n; i += 4 {
+			vb := binary.LittleEndian.Uint32(fbVM[i:])
+			rb := binary.LittleEndian.Uint32(fbRef[i:])
+			if vb != rb {
+				t.Fatalf("seed %d: fbuf[%d] differs: vm=%v(%#x) ref=%v(%#x)\n%s",
+					seed, i/4, math.Float32frombits(vb), vb, math.Float32frombits(rb), rb, src)
+			}
+			vi := binary.LittleEndian.Uint32(ibVM[i:])
+			ri := binary.LittleEndian.Uint32(ibRef[i:])
+			if vi != ri {
+				t.Fatalf("seed %d: ibuf[%d] differs: vm=%d ref=%d\n%s",
+					seed, i/4, int32(vi), int32(ri), src)
+			}
+		}
+	}
+}
+
+func TestDifferentialUndoRollback(t *testing.T) {
+	// Property: executing any generated work-group with an undo log and
+	// rolling back must restore the buffers exactly.
+	const trials = 25
+	n := 32
+	for seed := 0; seed < trials; seed++ {
+		g := &progGen{r: rand.New(rand.NewSource(int64(1000 + seed)))}
+		src := g.generate()
+		ki, err := clc.FindKernelInfo(src, "diff")
+		if err != nil {
+			t.Fatal(err)
+		}
+		k, err := Compile(ki)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb := make([]byte, 4*n)
+		ib := make([]byte, 4*n)
+		r := rand.New(rand.NewSource(int64(seed)))
+		r.Read(fb)
+		r.Read(ib)
+		fb0 := append([]byte(nil), fb...)
+		ib0 := append([]byte(nil), ib...)
+		var undo UndoLog
+		nd := NewNDRange1D(n, 32)
+		_, err = k.ExecWorkGroup(nd, [3]int{0, 0, 0},
+			[]Arg{BufArg(fb), BufArg(ib), IntArg(int64(n)), IntArg(3), FloatArg(1.5)},
+			ExecOpts{Undo: &undo})
+		if err != nil {
+			continue // e.g. NaN-driven index... impossible by construction, but be safe
+		}
+		undo.Rollback()
+		if string(fb) != string(fb0) || string(ib) != string(ib0) {
+			t.Fatalf("seed %d: rollback did not restore buffers\n%s", seed, src)
+		}
+	}
+}
+
+func TestDifferentialPrintedSourceRoundTrip(t *testing.T) {
+	// Property: pretty-printing a generated program and re-parsing it must
+	// yield identical execution results (the printer loses nothing).
+	const trials = 40
+	n := 32
+	for seed := 0; seed < trials; seed++ {
+		g := &progGen{r: rand.New(rand.NewSource(int64(2000 + seed)))}
+		src := g.generate()
+		prog, err := clc.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		printed := clc.Print(prog)
+
+		run := func(text string) ([]byte, []byte) {
+			ki, err := clc.FindKernelInfo(text, "diff")
+			if err != nil {
+				t.Fatalf("seed %d: %v\n%s", seed, err, text)
+			}
+			k, err := Compile(ki)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			fb := make([]byte, 4*n)
+			ib := make([]byte, 4*n)
+			if _, err := k.ExecLaunch(NewNDRange1D(n, 16),
+				[]Arg{BufArg(fb), BufArg(ib), IntArg(int64(n)), IntArg(2), FloatArg(0.5)},
+				ExecOpts{}); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			return fb, ib
+		}
+		f1, i1 := run(src)
+		f2, i2 := run(printed)
+		if string(f1) != string(f2) || string(i1) != string(i2) {
+			t.Fatalf("seed %d: printed source behaves differently\noriginal:\n%s\nprinted:\n%s", seed, src, printed)
+		}
+	}
+}

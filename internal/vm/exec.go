@@ -1,0 +1,648 @@
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// ExecOpts controls one work-group execution.
+type ExecOpts struct {
+	// Undo, when non-nil, records every global store so the caller can roll
+	// the work-group's effects back.
+	Undo *UndoLog
+	// MaxSteps bounds interpreted instructions per work-item (0 = default).
+	MaxSteps int64
+}
+
+const defaultMaxSteps = 256 << 20
+
+// warpSize is the SIMT width used for memory-coalescing estimation.
+const warpSize = 32
+
+// cacheLineBytes is the locality threshold for the CPU stride model.
+const cacheLineBytes = 64
+
+type execError struct {
+	kernel string
+	pc     int
+	msg    string
+}
+
+func (e *execError) Error() string {
+	return fmt.Sprintf("vm: kernel %q at pc=%d: %s", e.kernel, e.pc, e.msg)
+}
+
+// wiState is one work-item's register state (persisted across barrier
+// phases).
+type wiState struct {
+	iregs []int64
+	fregs []float64
+	priv  [][]byte
+	pc    int
+	done  bool
+}
+
+// memTracker accumulates locality information per static memory op.
+type memTracker struct {
+	prev [][]int32 // previous work-item's access offsets, per memID
+	cur  [][]int32
+	last []int32 // current work-item's previous offset, per memID
+	seen []bool  // last[] validity
+	occ  []int32 // occurrence counter for current work-item
+}
+
+func newMemTracker(n int) *memTracker {
+	return &memTracker{
+		prev: make([][]int32, n),
+		cur:  make([][]int32, n),
+		last: make([]int32, n),
+		seen: make([]bool, n),
+		occ:  make([]int32, n),
+	}
+}
+
+// nextWI rotates per-work-item state. newWarp resets cross-work-item
+// comparison at warp boundaries.
+func (t *memTracker) nextWI(newWarp bool) {
+	for i := range t.cur {
+		if newWarp {
+			t.prev[i] = t.prev[i][:0]
+		} else {
+			t.prev[i], t.cur[i] = t.cur[i], t.prev[i]
+		}
+		t.cur[i] = t.cur[i][:0]
+		t.seen[i] = false
+		t.occ[i] = 0
+	}
+}
+
+// access records one global access at byte offset off and updates stats.
+func (t *memTracker) access(memID int32, off int32, firstInWarp bool, st *Stats) {
+	if memID < 0 {
+		return
+	}
+	// CPU per-work-item stride locality.
+	if t.seen[memID] {
+		d := off - t.last[memID]
+		if d < 0 {
+			d = -d
+		}
+		if d <= cacheLineBytes {
+			st.SeqBytes += 4
+		} else {
+			st.RandBytes += 4
+		}
+	} else {
+		st.RandBytes += 4
+		t.seen[memID] = true
+	}
+	t.last[memID] = off
+
+	// GPU cross-work-item coalescing within a warp.
+	occ := t.occ[memID]
+	t.occ[memID]++
+	if firstInWarp {
+		st.WarpTransactions++
+	} else {
+		prev := t.prev[memID]
+		if int(occ) < len(prev) {
+			d := off - prev[occ]
+			if d < 0 {
+				d = -d
+			}
+			if d > 4 {
+				st.WarpTransactions++
+			}
+			// d == 4 (adjacent) or d == 0 (broadcast): coalesces into the
+			// transaction opened by an earlier lane.
+		} else {
+			st.WarpTransactions++
+		}
+	}
+	t.cur[memID] = append(t.cur[memID], off)
+}
+
+// ExecWorkGroup executes one work-group of the kernel with the given
+// arguments against the caller's memory (buffer args are mutated in place).
+// group is in full-grid coordinates. It returns the dynamic stats of the
+// execution.
+func (k *Kernel) ExecWorkGroup(nd NDRange, group [3]int, args []Arg, opts ExecOpts) (Stats, error) {
+	var st Stats
+	if err := k.checkArgs(args); err != nil {
+		return st, err
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = defaultMaxSteps
+	}
+
+	nWI := nd.WorkItemsPerGroup()
+	st.WorkGroups = 1
+	st.WorkItems = nWI
+
+	// Local arrays, shared by the group's work-items.
+	locals := make([][]byte, len(k.LocalArrs))
+	for i, la := range k.LocalArrs {
+		locals[i] = make([]byte, la.Len*la.Elem.Size())
+	}
+
+	tr := newMemTracker(k.NumMemOps)
+
+	run := func(w *wiState, lid [3]int, wi int) (atBarrier bool, err error) {
+		return k.run(w, nd, group, lid, wi, args, locals, tr, &st, opts, maxSteps)
+	}
+
+	lidOf := func(wi int) [3]int {
+		lx := nd.LocalSize[0]
+		ly := nd.LocalSize[1]
+		return [3]int{wi % lx, (wi / lx) % ly, wi / (lx * ly)}
+	}
+
+	if !k.HasBarrier {
+		w := &wiState{
+			iregs: make([]int64, k.NumI),
+			fregs: make([]float64, k.NumF),
+		}
+		w.priv = k.allocPriv()
+		for wi := 0; wi < nWI; wi++ {
+			w.reset(k)
+			tr.nextWI(wi%warpSize == 0)
+			if _, err := run(w, lidOf(wi), wi); err != nil {
+				return st, err
+			}
+		}
+		return st, nil
+	}
+
+	// Barrier path: phased execution of persistent per-work-item contexts.
+	states := make([]*wiState, nWI)
+	for wi := range states {
+		states[wi] = &wiState{
+			iregs: make([]int64, k.NumI),
+			fregs: make([]float64, k.NumF),
+			priv:  k.allocPriv(),
+		}
+	}
+	for {
+		anyBarrier, anyDone := false, false
+		barrierPC := -1
+		for wi, w := range states {
+			if w.done {
+				anyDone = true
+				continue
+			}
+			tr.nextWI(wi%warpSize == 0)
+			atBarrier, err := run(w, lidOf(wi), wi)
+			if err != nil {
+				return st, err
+			}
+			if atBarrier {
+				anyBarrier = true
+				if barrierPC == -1 {
+					barrierPC = w.pc
+				} else if barrierPC != w.pc {
+					return st, &execError{k.Name, w.pc, "work-items diverged to different barriers"}
+				}
+			} else {
+				anyDone = true
+			}
+		}
+		if !anyBarrier {
+			return st, nil
+		}
+		if anyDone {
+			return st, &execError{k.Name, barrierPC, "barrier not reached by all work-items"}
+		}
+		st.Barriers++
+	}
+}
+
+func (w *wiState) reset(k *Kernel) {
+	for i := range w.iregs {
+		w.iregs[i] = 0
+	}
+	for i := range w.fregs {
+		w.fregs[i] = 0
+	}
+	w.pc = 0
+	w.done = false
+}
+
+func (k *Kernel) allocPriv() [][]byte {
+	priv := make([][]byte, len(k.PrivArrs))
+	for i, pa := range k.PrivArrs {
+		priv[i] = make([]byte, pa.Len*pa.Elem.Size())
+	}
+	return priv
+}
+
+func (k *Kernel) checkArgs(args []Arg) error {
+	if len(args) != len(k.Params) {
+		return fmt.Errorf("vm: kernel %q expects %d args, got %d", k.Name, len(k.Params), len(args))
+	}
+	for i, p := range k.Params {
+		if args[i].Kind != p.Kind {
+			return fmt.Errorf("vm: kernel %q arg %d (%s): kind mismatch", k.Name, i, p.Name)
+		}
+		if p.Kind == ArgBuffer && args[i].Buf == nil {
+			return fmt.Errorf("vm: kernel %q arg %d (%s): nil buffer", k.Name, i, p.Name)
+		}
+	}
+	return nil
+}
+
+// run interprets one work-item until RET or BARRIER. It loads scalar
+// parameters into registers at pc 0.
+func (k *Kernel) run(w *wiState, nd NDRange, group, lid [3]int, wi int,
+	args []Arg, locals [][]byte, tr *memTracker, st *Stats,
+	opts ExecOpts, maxSteps int64) (atBarrier bool, err error) {
+
+	if w.pc == 0 {
+		for i, p := range k.Params {
+			switch p.Kind {
+			case ArgInt:
+				w.iregs[p.IReg] = args[i].I
+			case ArgFloat:
+				w.fregs[p.FReg] = float64(float32(args[i].F))
+			}
+		}
+	}
+
+	iregs, fregs := w.iregs, w.fregs
+	code := k.Code
+	firstInWarp := wi%warpSize == 0
+	var steps int64
+
+	dimVal := func(vals [3]int, d int64) int64 {
+		if d < 0 || d > 2 {
+			return 0
+		}
+		return int64(vals[d])
+	}
+
+	for {
+		if w.pc < 0 || w.pc >= len(code) {
+			return false, &execError{k.Name, w.pc, "pc out of range"}
+		}
+		in := &code[w.pc]
+		steps++
+		if steps > maxSteps {
+			return false, &execError{k.Name, w.pc, "instruction budget exceeded (possible infinite loop)"}
+		}
+		switch in.Op {
+		case opNop:
+		case opLDI:
+			iregs[in.A] = in.IImm
+		case opLDF:
+			fregs[in.A] = in.FImm
+		case opIMOV:
+			iregs[in.A] = iregs[in.B]
+		case opFMOV:
+			fregs[in.A] = fregs[in.B]
+		case opIADD:
+			iregs[in.A] = iregs[in.B] + iregs[in.C]
+			st.IntOps++
+		case opISUB:
+			iregs[in.A] = iregs[in.B] - iregs[in.C]
+			st.IntOps++
+		case opIMUL:
+			iregs[in.A] = iregs[in.B] * iregs[in.C]
+			st.IntOps++
+		case opIDIV:
+			if iregs[in.C] == 0 {
+				return false, &execError{k.Name, w.pc, "integer division by zero"}
+			}
+			iregs[in.A] = iregs[in.B] / iregs[in.C]
+			st.IntOps++
+		case opIMOD:
+			if iregs[in.C] == 0 {
+				return false, &execError{k.Name, w.pc, "integer modulo by zero"}
+			}
+			iregs[in.A] = iregs[in.B] % iregs[in.C]
+			st.IntOps++
+		case opINEG:
+			iregs[in.A] = -iregs[in.B]
+			st.IntOps++
+		case opFADD:
+			fregs[in.A] = float64(float32(fregs[in.B]) + float32(fregs[in.C]))
+			st.FloatOps++
+		case opFSUB:
+			fregs[in.A] = float64(float32(fregs[in.B]) - float32(fregs[in.C]))
+			st.FloatOps++
+		case opFMUL:
+			fregs[in.A] = float64(float32(fregs[in.B]) * float32(fregs[in.C]))
+			st.FloatOps++
+		case opFDIV:
+			fregs[in.A] = float64(float32(fregs[in.B]) / float32(fregs[in.C]))
+			st.FloatOps++
+		case opFNEG:
+			fregs[in.A] = -fregs[in.B]
+			st.FloatOps++
+		case opI2F:
+			fregs[in.A] = float64(float32(iregs[in.B]))
+			st.IntOps++
+		case opF2I:
+			f := fregs[in.B]
+			if math.IsNaN(f) {
+				f = 0
+			}
+			iregs[in.A] = int64(f) // C truncation toward zero
+			st.IntOps++
+		case opILT:
+			iregs[in.A] = b2i(iregs[in.B] < iregs[in.C])
+			st.IntOps++
+		case opILE:
+			iregs[in.A] = b2i(iregs[in.B] <= iregs[in.C])
+			st.IntOps++
+		case opIGT:
+			iregs[in.A] = b2i(iregs[in.B] > iregs[in.C])
+			st.IntOps++
+		case opIGE:
+			iregs[in.A] = b2i(iregs[in.B] >= iregs[in.C])
+			st.IntOps++
+		case opIEQ:
+			iregs[in.A] = b2i(iregs[in.B] == iregs[in.C])
+			st.IntOps++
+		case opINE:
+			iregs[in.A] = b2i(iregs[in.B] != iregs[in.C])
+			st.IntOps++
+		case opFLT:
+			iregs[in.A] = b2i(fregs[in.B] < fregs[in.C])
+			st.FloatOps++
+		case opFLE:
+			iregs[in.A] = b2i(fregs[in.B] <= fregs[in.C])
+			st.FloatOps++
+		case opFGT:
+			iregs[in.A] = b2i(fregs[in.B] > fregs[in.C])
+			st.FloatOps++
+		case opFGE:
+			iregs[in.A] = b2i(fregs[in.B] >= fregs[in.C])
+			st.FloatOps++
+		case opFEQ:
+			iregs[in.A] = b2i(fregs[in.B] == fregs[in.C])
+			st.FloatOps++
+		case opFNE:
+			iregs[in.A] = b2i(fregs[in.B] != fregs[in.C])
+			st.FloatOps++
+		case opNOTB:
+			iregs[in.A] = b2i(iregs[in.B] == 0)
+			st.IntOps++
+		case opJMP:
+			w.pc = int(in.A)
+			st.Branches++
+			continue
+		case opJZ:
+			st.Branches++
+			if iregs[in.B] == 0 {
+				w.pc = int(in.A)
+				continue
+			}
+		case opJNZ:
+			st.Branches++
+			if iregs[in.B] != 0 {
+				w.pc = int(in.A)
+				continue
+			}
+		case opLDGF:
+			buf := args[in.B].Buf
+			off, err2 := byteOff(iregs[in.C], len(buf))
+			if err2 != nil {
+				return false, &execError{k.Name, w.pc, fmt.Sprintf("load %s: %v", k.Params[in.B].Name, err2)}
+			}
+			fregs[in.A] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[off:])))
+			st.GlobalLoads++
+			st.GlobalLoadBytes += 4
+			tr.access(in.D, off, firstInWarp, st)
+		case opLDGI:
+			buf := args[in.B].Buf
+			off, err2 := byteOff(iregs[in.C], len(buf))
+			if err2 != nil {
+				return false, &execError{k.Name, w.pc, fmt.Sprintf("load %s: %v", k.Params[in.B].Name, err2)}
+			}
+			iregs[in.A] = int64(int32(binary.LittleEndian.Uint32(buf[off:])))
+			st.GlobalLoads++
+			st.GlobalLoadBytes += 4
+			tr.access(in.D, off, firstInWarp, st)
+		case opSTGF:
+			buf := args[in.B].Buf
+			off, err2 := byteOff(iregs[in.C], len(buf))
+			if err2 != nil {
+				return false, &execError{k.Name, w.pc, fmt.Sprintf("store %s: %v", k.Params[in.B].Name, err2)}
+			}
+			if opts.Undo != nil {
+				var old [4]byte
+				copy(old[:], buf[off:off+4])
+				opts.Undo.recs = append(opts.Undo.recs, UndoRecord{Buf: buf, Off: int(off), Old: old})
+			}
+			binary.LittleEndian.PutUint32(buf[off:], math.Float32bits(float32(fregs[in.A])))
+			st.GlobalStores++
+			st.GlobalStoreBytes += 4
+			tr.access(in.D, off, firstInWarp, st)
+		case opSTGI:
+			buf := args[in.B].Buf
+			off, err2 := byteOff(iregs[in.C], len(buf))
+			if err2 != nil {
+				return false, &execError{k.Name, w.pc, fmt.Sprintf("store %s: %v", k.Params[in.B].Name, err2)}
+			}
+			if opts.Undo != nil {
+				var old [4]byte
+				copy(old[:], buf[off:off+4])
+				opts.Undo.recs = append(opts.Undo.recs, UndoRecord{Buf: buf, Off: int(off), Old: old})
+			}
+			binary.LittleEndian.PutUint32(buf[off:], uint32(int32(iregs[in.A])))
+			st.GlobalStores++
+			st.GlobalStoreBytes += 4
+			tr.access(in.D, off, firstInWarp, st)
+		case opLDLF:
+			buf := locals[in.B]
+			off, err2 := byteOff(iregs[in.C], len(buf))
+			if err2 != nil {
+				return false, &execError{k.Name, w.pc, fmt.Sprintf("local load %s: %v", k.LocalArrs[in.B].Name, err2)}
+			}
+			fregs[in.A] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[off:])))
+			st.LocalAccesses++
+		case opLDLI:
+			buf := locals[in.B]
+			off, err2 := byteOff(iregs[in.C], len(buf))
+			if err2 != nil {
+				return false, &execError{k.Name, w.pc, fmt.Sprintf("local load %s: %v", k.LocalArrs[in.B].Name, err2)}
+			}
+			iregs[in.A] = int64(int32(binary.LittleEndian.Uint32(buf[off:])))
+			st.LocalAccesses++
+		case opSTLF:
+			buf := locals[in.B]
+			off, err2 := byteOff(iregs[in.C], len(buf))
+			if err2 != nil {
+				return false, &execError{k.Name, w.pc, fmt.Sprintf("local store %s: %v", k.LocalArrs[in.B].Name, err2)}
+			}
+			binary.LittleEndian.PutUint32(buf[off:], math.Float32bits(float32(fregs[in.A])))
+			st.LocalAccesses++
+		case opSTLI:
+			buf := locals[in.B]
+			off, err2 := byteOff(iregs[in.C], len(buf))
+			if err2 != nil {
+				return false, &execError{k.Name, w.pc, fmt.Sprintf("local store %s: %v", k.LocalArrs[in.B].Name, err2)}
+			}
+			binary.LittleEndian.PutUint32(buf[off:], uint32(int32(iregs[in.A])))
+			st.LocalAccesses++
+		case opLDPF:
+			buf := w.priv[in.B]
+			off, err2 := byteOff(iregs[in.C], len(buf))
+			if err2 != nil {
+				return false, &execError{k.Name, w.pc, fmt.Sprintf("private load %s: %v", k.PrivArrs[in.B].Name, err2)}
+			}
+			fregs[in.A] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[off:])))
+			st.LocalAccesses++
+		case opLDPI:
+			buf := w.priv[in.B]
+			off, err2 := byteOff(iregs[in.C], len(buf))
+			if err2 != nil {
+				return false, &execError{k.Name, w.pc, fmt.Sprintf("private load %s: %v", k.PrivArrs[in.B].Name, err2)}
+			}
+			iregs[in.A] = int64(int32(binary.LittleEndian.Uint32(buf[off:])))
+			st.LocalAccesses++
+		case opSTPF:
+			buf := w.priv[in.B]
+			off, err2 := byteOff(iregs[in.C], len(buf))
+			if err2 != nil {
+				return false, &execError{k.Name, w.pc, fmt.Sprintf("private store %s: %v", k.PrivArrs[in.B].Name, err2)}
+			}
+			binary.LittleEndian.PutUint32(buf[off:], math.Float32bits(float32(fregs[in.A])))
+			st.LocalAccesses++
+		case opSTPI:
+			buf := w.priv[in.B]
+			off, err2 := byteOff(iregs[in.C], len(buf))
+			if err2 != nil {
+				return false, &execError{k.Name, w.pc, fmt.Sprintf("private store %s: %v", k.PrivArrs[in.B].Name, err2)}
+			}
+			binary.LittleEndian.PutUint32(buf[off:], uint32(int32(iregs[in.A])))
+			st.LocalAccesses++
+		case opGID:
+			d := iregs[in.B]
+			iregs[in.A] = dimVal(group, d)*dimVal(nd.LocalSize, d) + dimVal(lid, d)
+			st.IntOps++
+		case opLID:
+			iregs[in.A] = dimVal(lid, iregs[in.B])
+			st.IntOps++
+		case opGRP:
+			iregs[in.A] = dimVal(group, iregs[in.B])
+			st.IntOps++
+		case opNGR:
+			d := iregs[in.B]
+			if d < 0 || d > 2 {
+				iregs[in.A] = 1
+			} else {
+				iregs[in.A] = int64(nd.NumGroups[d])
+			}
+			st.IntOps++
+		case opLSZ:
+			d := iregs[in.B]
+			if d < 0 || d > 2 {
+				iregs[in.A] = 1
+			} else {
+				iregs[in.A] = int64(nd.LocalSize[d])
+			}
+			st.IntOps++
+		case opGSZ:
+			d := iregs[in.B]
+			if d < 0 || d > 2 {
+				iregs[in.A] = 1
+			} else {
+				iregs[in.A] = int64(nd.NumGroups[d] * nd.LocalSize[d])
+			}
+			st.IntOps++
+		case opGOFF:
+			iregs[in.A] = 0
+		case opWDIM:
+			iregs[in.A] = int64(nd.Dims)
+		case opBARRIER:
+			w.pc++
+			return true, nil
+		case opSQRT:
+			fregs[in.A] = float64(float32(math.Sqrt(fregs[in.B])))
+			st.SpecialOps++
+		case opFABS:
+			fregs[in.A] = math.Abs(fregs[in.B])
+			st.SpecialOps++
+		case opEXP:
+			fregs[in.A] = float64(float32(math.Exp(fregs[in.B])))
+			st.SpecialOps++
+		case opLOG:
+			fregs[in.A] = float64(float32(math.Log(fregs[in.B])))
+			st.SpecialOps++
+		case opFLOOR:
+			fregs[in.A] = math.Floor(fregs[in.B])
+			st.SpecialOps++
+		case opCEIL:
+			fregs[in.A] = math.Ceil(fregs[in.B])
+			st.SpecialOps++
+		case opPOW:
+			fregs[in.A] = float64(float32(math.Pow(fregs[in.B], fregs[in.C])))
+			st.SpecialOps++
+		case opFMIN:
+			fregs[in.A] = math.Min(fregs[in.B], fregs[in.C])
+			st.FloatOps++
+		case opFMAX:
+			fregs[in.A] = math.Max(fregs[in.B], fregs[in.C])
+			st.FloatOps++
+		case opIMIN:
+			if iregs[in.B] < iregs[in.C] {
+				iregs[in.A] = iregs[in.B]
+			} else {
+				iregs[in.A] = iregs[in.C]
+			}
+			st.IntOps++
+		case opIMAX:
+			if iregs[in.B] > iregs[in.C] {
+				iregs[in.A] = iregs[in.B]
+			} else {
+				iregs[in.A] = iregs[in.C]
+			}
+			st.IntOps++
+		case opIABS:
+			v := iregs[in.B]
+			if v < 0 {
+				v = -v
+			}
+			iregs[in.A] = v
+			st.IntOps++
+		case opRET:
+			w.done = true
+			return false, nil
+		default:
+			return false, &execError{k.Name, w.pc, fmt.Sprintf("bad opcode %d", in.Op)}
+		}
+		w.pc++
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func byteOff(idx int64, bufLen int) (int32, error) {
+	off := idx * 4
+	if idx < 0 || off+4 > int64(bufLen) {
+		return 0, fmt.Errorf("index %d out of range (buffer %d bytes)", idx, bufLen)
+	}
+	return int32(off), nil
+}
+
+// ExecLaunch executes every work-group of the launch slice sequentially and
+// returns aggregate stats. It is a convenience for tests and single-device
+// paths that do not need per-group timing.
+func (k *Kernel) ExecLaunch(nd NDRange, args []Arg, opts ExecOpts) (Stats, error) {
+	var total Stats
+	for i := 0; i < nd.LaunchGroups(); i++ {
+		st, err := k.ExecWorkGroup(nd, nd.GroupAt(i), args, opts)
+		total.Add(st)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
