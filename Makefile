@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: check build vet test race bench-smoke bench bench-baseline
+
+# The full CI gate: build, vet, race-clean tests, benchmark smoke.
+check: build vet race bench-smoke
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of the headline benchmark, as a does-it-still-run smoke.
+bench-smoke:
+	$(GO) test -bench 'BenchmarkOverall' -benchtime=1x -run '^$$' .
+
+bench:
+	$(GO) test -bench . -benchmem -benchtime=3x -run '^$$' .
+
+# Regenerate the BENCH_01.json wall-clock baseline (quick scale).
+bench-baseline:
+	$(GO) run ./cmd/fluidibench -quick -jsonout BENCH_01.json all >/dev/null
+	@cat BENCH_01.json

@@ -14,9 +14,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"fluidicl/internal/core"
 	"fluidicl/internal/device"
@@ -24,11 +26,15 @@ import (
 	"fluidicl/internal/polybench"
 	"fluidicl/internal/sched"
 	"fluidicl/internal/sim"
+	"fluidicl/internal/vm"
 )
 
 func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	quick := flag.Bool("quick", false, "use reduced workload sizes")
+	workers := flag.Int("workers", 0, "host threads per kernel launch for work-group execution (0 = GOMAXPROCS)")
+	parallel := flag.Int("parallel", 0, "concurrent experiment table cells (0 = GOMAXPROCS)")
+	jsonOut := flag.String("jsonout", "", "write per-table wall-clock times as JSON to this file")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -37,8 +43,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	vm.SetWorkers(*workers)
+
 	r := harness.NewRunner()
 	r.Quick = *quick
+	r.Parallel = *parallel
 
 	switch args[0] {
 	case "list":
@@ -60,13 +69,21 @@ func main() {
 		}
 		return
 	case "all":
-		tables, err := r.All()
-		for _, t := range tables {
+		ids := append(append([]string{}, harness.ExperimentIDs...), harness.ExtraExperimentIDs...)
+		var walls []wallEntry
+		for _, id := range ids {
+			start := time.Now()
+			t, err := r.Run(id)
+			wall := time.Since(start)
+			if err != nil {
+				writeWalls(*jsonOut, walls)
+				fatal(err)
+			}
 			emit(t, *csv)
+			fmt.Printf("[%s: %.2fs wall]\n\n", t.ID, wall.Seconds())
+			walls = append(walls, wallEntry{ID: t.ID, WallSeconds: wall.Seconds()})
 		}
-		if err != nil {
-			fatal(err)
-		}
+		writeWalls(*jsonOut, walls)
 		return
 	case "run":
 		if len(args) < 2 {
@@ -93,11 +110,34 @@ func main() {
 		}
 		return
 	default:
+		start := time.Now()
 		t, err := r.Run(args[0])
+		wall := time.Since(start)
 		if err != nil {
 			fatal(err)
 		}
 		emit(t, *csv)
+		fmt.Printf("[%s: %.2fs wall]\n", t.ID, wall.Seconds())
+		writeWalls(*jsonOut, []wallEntry{{ID: t.ID, WallSeconds: wall.Seconds()}})
+	}
+}
+
+// wallEntry is one experiment's host wall-clock cost (not virtual time).
+type wallEntry struct {
+	ID          string  `json:"id"`
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+func writeWalls(path string, walls []wallEntry) {
+	if path == "" || walls == nil {
+		return
+	}
+	data, err := json.MarshalIndent(walls, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
 	}
 }
 
@@ -170,7 +210,7 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `fluidibench — regenerate the FluidiCL paper's tables and figures
 
 usage:
-  fluidibench [-csv] [-quick] <experiment>|all
+  fluidibench [-csv] [-quick] [-workers N] [-parallel N] [-jsonout F] <experiment>|all
   fluidibench run <benchmark>     # one benchmark under every strategy
   fluidibench trace <benchmark>   # cooperative-execution timeline
   fluidibench dump <benchmark>    # transformed sources + bytecode disassembly

@@ -199,12 +199,24 @@ type Device struct {
 	Env  *sim.Env
 	Cfg  Config
 	link *sim.Resource
+
+	// memEpoch counts externally visible buffer mutations performed by this
+	// device's queues outside work-group execution (transfer Apply hooks and
+	// Call functions — the only places the runtime mutates buffers while a
+	// launch is in progress). The speculative launch engine samples it to
+	// detect that buffered results may have read stale memory. Plain field:
+	// the simulation is cooperative, so queue processes never run while a
+	// launch process is between samples.
+	memEpoch uint64
 }
 
 // New creates a device in env.
 func New(env *sim.Env, cfg Config) *Device {
 	return &Device{Env: env, Cfg: cfg, link: sim.NewResource(env, 1)}
 }
+
+// MemEpoch returns the device's external-mutation counter; see Device.memEpoch.
+func (d *Device) MemEpoch() uint64 { return d.memEpoch }
 
 // AbortQuery lets the GPU launch executor ask whether a work-group has
 // already been completed by the other device (FluidiCL supplies this; it is
@@ -328,6 +340,7 @@ func (q *Queue) serve(p *sim.Proc) {
 			p.Sleep(q.dev.Cfg.Link.TransferTime(c.Bytes))
 			if c.Apply != nil {
 				c.Apply()
+				q.dev.memEpoch++
 			}
 			q.dev.link.Release()
 			c.Done.Fire()
@@ -340,6 +353,7 @@ func (q *Queue) serve(p *sim.Proc) {
 			}
 			if c.Fn != nil {
 				c.Fn()
+				q.dev.memEpoch++
 			}
 			c.Done.Fire()
 		}

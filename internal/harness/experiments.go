@@ -16,6 +16,11 @@ type Runner struct {
 	// Quick shrinks workloads (used by the Go benchmark harness so each
 	// testing.B iteration stays fast). Full-size runs are the default.
 	Quick bool
+	// Parallel caps how many table cells run concurrently. Each cell is a
+	// complete, independent simulation (its own sim.Env), so running them
+	// side by side changes nothing about any cell's virtual times or
+	// outputs. 0 means GOMAXPROCS; 1 recovers the fully sequential runner.
+	Parallel int
 }
 
 // NewRunner creates a Runner on the paper's machine (§8).
@@ -87,25 +92,36 @@ func (r *Runner) Fig2() (*Table, error) {
 			"Paper shape: 2MM is best at 100% GPU; SYRK is best with a mixed split.",
 		Columns: []string{"GPU%", "2MM", "SYRK"},
 	}
-	curves := make([]map[int]sim.Time, len(benches))
+	const nPct = 11
+	times := make([][]sim.Time, len(benches))
+	for i := range times {
+		times[i] = make([]sim.Time, nPct)
+	}
+	err := r.cells(len(benches)*nPct, func(c int) error {
+		i, j := c/nPct, c%nPct
+		b := benches[i]
+		res, err := sched.RunStatic(r.M, b.App, j*10)
+		if _, err = verify(b, res, err); err != nil {
+			return err
+		}
+		times[i][j] = res.Time
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	mins := make([]sim.Time, len(benches))
-	for i, b := range benches {
-		curves[i] = map[int]sim.Time{}
-		for pct := 0; pct <= 100; pct += 10 {
-			res, err := sched.RunStatic(r.M, b.App, pct)
-			if _, err = verify(b, res, err); err != nil {
-				return nil, err
-			}
-			curves[i][pct] = res.Time
-			if mins[i] == 0 || res.Time < mins[i] {
-				mins[i] = res.Time
+	for i := range benches {
+		for _, tm := range times[i] {
+			if mins[i] == 0 || tm < mins[i] {
+				mins[i] = tm
 			}
 		}
 	}
-	for pct := 0; pct <= 100; pct += 10 {
-		t.AddRow(fmt.Sprintf("%d", pct),
-			f2(curves[0][pct]/mins[0]),
-			f2(curves[1][pct]/mins[1]))
+	for j := 0; j < nPct; j++ {
+		t.AddRow(fmt.Sprintf("%d", j*10),
+			f2(times[0][j]/mins[0]),
+			f2(times[1][j]/mins[1]))
 	}
 	return t, nil
 }
@@ -123,22 +139,32 @@ func (r *Runner) Fig3() (*Table, error) {
 			"Paper shape: the best-performing split differs between the two input sizes.",
 		Columns: []string{"GPU%", "SYRK(" + small.InputDesc + ")", "SYRK(" + large.InputDesc + ")"},
 	}
-	curves := [2]map[int]sim.Time{{}, {}}
+	const nPct = 11
+	benches := []*polybench.Benchmark{small, large}
+	var times [2][nPct]sim.Time
+	err := r.cells(len(benches)*nPct, func(c int) error {
+		i, j := c/nPct, c%nPct
+		b := benches[i]
+		res, err := sched.RunStatic(r.M, b.App, j*10)
+		if _, err = verify(b, res, err); err != nil {
+			return err
+		}
+		times[i][j] = res.Time
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	mins := [2]sim.Time{}
-	for i, b := range []*polybench.Benchmark{small, large} {
-		for pct := 0; pct <= 100; pct += 10 {
-			res, err := sched.RunStatic(r.M, b.App, pct)
-			if _, err = verify(b, res, err); err != nil {
-				return nil, err
-			}
-			curves[i][pct] = res.Time
-			if mins[i] == 0 || res.Time < mins[i] {
-				mins[i] = res.Time
+	for i := range benches {
+		for _, tm := range times[i] {
+			if mins[i] == 0 || tm < mins[i] {
+				mins[i] = tm
 			}
 		}
 	}
-	for pct := 0; pct <= 100; pct += 10 {
-		t.AddRow(fmt.Sprintf("%d", pct), f2(curves[0][pct]/mins[0]), f2(curves[1][pct]/mins[1]))
+	for j := 0; j < nPct; j++ {
+		t.AddRow(fmt.Sprintf("%d", j*10), f2(times[0][j]/mins[0]), f2(times[1][j]/mins[1]))
 	}
 	return t, nil
 }
@@ -149,14 +175,16 @@ func (r *Runner) Table1() (*Table, error) {
 	if r.Quick {
 		b = polybench.Bicg(192)
 	}
-	cpuRes, err := r.single(b, false)
+	var devRes [2]*sched.Result
+	err := r.cells(2, func(i int) error {
+		res, err := r.single(b, i == 1)
+		devRes[i] = res
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	gpuRes, err := r.single(b, true)
-	if err != nil {
-		return nil, err
-	}
+	cpuRes, gpuRes := devRes[0], devRes[1]
 	t := &Table{
 		ID:    "table1",
 		Title: "Kernel running times for BICG (ms)",
@@ -206,34 +234,48 @@ func (r *Runner) Overall() (*Table, error) {
 	}
 	var nCPU, nGPU, nFCL, nOSP []float64
 	var vsGPU, vsCPU, vsBest []float64
-	for _, b := range r.benchmarks() {
-		cpuRes, err := r.single(b, false)
-		if err != nil {
-			return nil, err
+	benches := r.benchmarks()
+	// Four independent simulations per benchmark: cpu, gpu, fluidicl, oracle.
+	rs := make([][4]*sched.Result, len(benches))
+	err := r.cells(len(benches)*4, func(c int) error {
+		i, k := c/4, c%4
+		b := benches[i]
+		var res *sched.Result
+		var err error
+		switch k {
+		case 0:
+			res, err = r.single(b, false)
+		case 1:
+			res, err = r.single(b, true)
+		case 2:
+			res, err = r.fluidicl(b, core.Options{})
+		default:
+			var or *sched.OracleResult
+			or, err = sched.RunOracle(r.M, b.App)
+			if err != nil {
+				return err
+			}
+			if err := b.Verify(or.Best.Outputs); err != nil {
+				return err
+			}
+			res = or.Best
 		}
-		gpuRes, err := r.single(b, true)
-		if err != nil {
-			return nil, err
-		}
-		fclRes, err := r.fluidicl(b, core.Options{})
-		if err != nil {
-			return nil, err
-		}
-		or, err := sched.RunOracle(r.M, b.App)
-		if err != nil {
-			return nil, err
-		}
-		if err := b.Verify(or.Best.Outputs); err != nil {
-			return nil, err
-		}
+		rs[i][k] = res
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
+		cpuRes, gpuRes, fclRes, oraRes := rs[i][0], rs[i][1], rs[i][2], rs[i][3]
 		best := minT(cpuRes.Time, gpuRes.Time)
 		t.AddRow(b.Name,
 			f2(cpuRes.Time/best), f2(gpuRes.Time/best),
-			f2(fclRes.Time/best), f2(or.Best.Time/best))
+			f2(fclRes.Time/best), f2(oraRes.Time/best))
 		nCPU = append(nCPU, cpuRes.Time/best)
 		nGPU = append(nGPU, gpuRes.Time/best)
 		nFCL = append(nFCL, fclRes.Time/best)
-		nOSP = append(nOSP, or.Best.Time/best)
+		nOSP = append(nOSP, oraRes.Time/best)
 		vsGPU = append(vsGPU, gpuRes.Time/fclRes.Time)
 		vsCPU = append(vsCPU, cpuRes.Time/fclRes.Time)
 		vsBest = append(vsBest, best/fclRes.Time)
@@ -255,20 +297,33 @@ func (r *Runner) Fig14() (*Table, error) {
 		Columns: []string{"Input", "CPU", "GPU", "FluidiCL"},
 	}
 	var nCPU, nGPU, nFCL []float64
-	for _, sz := range r.syrkSizes() {
-		b := polybench.Syrk(sz[0], sz[1])
-		cpuRes, err := r.single(b, false)
-		if err != nil {
-			return nil, err
+	sizes := r.syrkSizes()
+	benches := make([]*polybench.Benchmark, len(sizes))
+	for i, sz := range sizes {
+		benches[i] = polybench.Syrk(sz[0], sz[1])
+	}
+	rs := make([][3]*sched.Result, len(benches))
+	err := r.cells(len(benches)*3, func(c int) error {
+		i, k := c/3, c%3
+		b := benches[i]
+		var res *sched.Result
+		var err error
+		switch k {
+		case 0:
+			res, err = r.single(b, false)
+		case 1:
+			res, err = r.single(b, true)
+		default:
+			res, err = r.fluidicl(b, core.Options{})
 		}
-		gpuRes, err := r.single(b, true)
-		if err != nil {
-			return nil, err
-		}
-		fclRes, err := r.fluidicl(b, core.Options{})
-		if err != nil {
-			return nil, err
-		}
+		rs[i][k] = res
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
+		cpuRes, gpuRes, fclRes := rs[i][0], rs[i][1], rs[i][2]
 		best := minT(cpuRes.Time, gpuRes.Time)
 		t.AddRow(b.InputDesc, f2(cpuRes.Time/best), f2(gpuRes.Time/best), f2(fclRes.Time/best))
 		nCPU = append(nCPU, cpuRes.Time/best)
@@ -291,19 +346,20 @@ func (r *Runner) Fig15() (*Table, error) {
 		Columns: []string{"Benchmark", "NoAbortUnroll", "NoUnroll", "AllOpt"},
 	}
 	var a, bcol, c []float64
-	for _, b := range r.benchmarks() {
-		noAbort, err := r.fluidicl(b, core.Options{NoAbortInLoops: true})
-		if err != nil {
-			return nil, err
-		}
-		noUnroll, err := r.fluidicl(b, core.Options{NoUnroll: true})
-		if err != nil {
-			return nil, err
-		}
-		allOpt, err := r.fluidicl(b, core.Options{})
-		if err != nil {
-			return nil, err
-		}
+	benches := r.benchmarks()
+	optCfgs := []core.Options{{NoAbortInLoops: true}, {NoUnroll: true}, {}}
+	rs := make([][3]*sched.Result, len(benches))
+	err := r.cells(len(benches)*3, func(cell int) error {
+		i, k := cell/3, cell%3
+		res, err := r.fluidicl(benches[i], optCfgs[k])
+		rs[i][k] = res
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
+		noAbort, noUnroll, allOpt := rs[i][0], rs[i][1], rs[i][2]
 		t.AddRow(b.Name,
 			f2(noAbort.Time/allOpt.Time), f2(noUnroll.Time/allOpt.Time), f2(1.0))
 		a = append(a, noAbort.Time/allOpt.Time)
@@ -329,25 +385,32 @@ func (r *Runner) Table3() (*Table, error) {
 		}
 		return polybench.CorrWithVariant(128, 128)
 	}
-	gpuRes, err := r.single(mkPlain(), true)
+	var rs [4]*sched.Result
+	err := r.cells(4, func(k int) error {
+		var res *sched.Result
+		var err error
+		switch k {
+		case 0:
+			res, err = r.single(mkPlain(), true)
+		case 1:
+			res, err = r.single(mkPlain(), false)
+		case 2:
+			res, err = r.fluidicl(mkPlain(), core.Options{})
+		default:
+			// Two runs in one runtime; the first (excluded per §8's
+			// methodology) is when online profiling identifies the better
+			// CPU kernel.
+			vb := mkVar()
+			res, err = sched.RunFluidiCLRepeat(r.M, vb.App, core.Options{OnlineProfiling: true}, 2)
+			res, err = verify(vb, res, err)
+		}
+		rs[k] = res
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	cpuRes, err := r.single(mkPlain(), false)
-	if err != nil {
-		return nil, err
-	}
-	fcl, err := r.fluidicl(mkPlain(), core.Options{})
-	if err != nil {
-		return nil, err
-	}
-	// Two runs in one runtime; the first (excluded per §8's methodology)
-	// is when online profiling identifies the better CPU kernel.
-	vb := mkVar()
-	fclPro, err := sched.RunFluidiCLRepeat(r.M, vb.App, core.Options{OnlineProfiling: true}, 2)
-	if _, err = verify(vb, fclPro, err); err != nil {
-		return nil, err
-	}
+	gpuRes, cpuRes, fcl, fclPro := rs[0], rs[1], rs[2], rs[3]
 	t := &Table{
 		ID:    "table3",
 		Title: "CORR with a choice of CPU kernels (ms)",
@@ -369,31 +432,42 @@ func (r *Runner) Fig16() (*Table, error) {
 	}
 	var nEager, nDmda, nFCL []float64
 	var fclVsEager, fclVsDmda []float64
-	for _, b := range r.benchmarks() {
-		cpuRes, err := r.single(b, false)
-		if err != nil {
-			return nil, err
+	benches := r.benchmarks()
+	// Five cells per benchmark; dmda calibration and its measured run form
+	// one cell, as the model feeds the run.
+	rs := make([][5]*sched.Result, len(benches))
+	err := r.cells(len(benches)*5, func(c int) error {
+		i, k := c/5, c%5
+		b := benches[i]
+		var res *sched.Result
+		var err error
+		switch k {
+		case 0:
+			res, err = r.single(b, false)
+		case 1:
+			res, err = r.single(b, true)
+		case 2:
+			res, err = sched.RunSocl(r.M, b.App, sched.Eager, nil)
+			res, err = verify(b, res, err)
+		case 3:
+			var model sched.DmdaModel
+			model, err = sched.CalibrateDmda(r.M, b.App)
+			if err != nil {
+				return err
+			}
+			res, err = sched.RunSocl(r.M, b.App, sched.Dmda, model)
+			res, err = verify(b, res, err)
+		default:
+			res, err = r.fluidicl(b, core.Options{})
 		}
-		gpuRes, err := r.single(b, true)
-		if err != nil {
-			return nil, err
-		}
-		eager, err := sched.RunSocl(r.M, b.App, sched.Eager, nil)
-		if _, err = verify(b, eager, err); err != nil {
-			return nil, err
-		}
-		model, err := sched.CalibrateDmda(r.M, b.App)
-		if err != nil {
-			return nil, err
-		}
-		dmda, err := sched.RunSocl(r.M, b.App, sched.Dmda, model)
-		if _, err = verify(b, dmda, err); err != nil {
-			return nil, err
-		}
-		fcl, err := r.fluidicl(b, core.Options{})
-		if err != nil {
-			return nil, err
-		}
+		rs[i][k] = res
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
+		cpuRes, gpuRes, eager, dmda, fcl := rs[i][0], rs[i][1], rs[i][2], rs[i][3], rs[i][4]
 		best := minT(cpuRes.Time, gpuRes.Time)
 		t.AddRow(b.Name,
 			f2(cpuRes.Time/best), f2(gpuRes.Time/best),
@@ -426,18 +500,29 @@ func (r *Runner) Fig17() (*Table, error) {
 			"need cooperative execution; the chosen 2% is within a few % of the best everywhere.",
 		Columns: cols,
 	}
-	for _, b := range r.benchmarks() {
-		var base sim.Time
+	benches := r.benchmarks()
+	nc := len(chunks)
+	times := make([][]sim.Time, len(benches))
+	for i := range times {
+		times[i] = make([]sim.Time, nc)
+	}
+	err := r.cells(len(benches)*nc, func(c int) error {
+		i, j := c/nc, c%nc
+		res, err := r.fluidicl(benches[i], core.Options{InitialChunkPct: chunks[j]})
+		if err != nil {
+			return err
+		}
+		times[i][j] = res.Time
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
+		base := times[i][0]
 		row := []string{b.Name}
-		for i, c := range chunks {
-			res, err := r.fluidicl(b, core.Options{InitialChunkPct: c})
-			if err != nil {
-				return nil, err
-			}
-			if i == 0 {
-				base = res.Time
-			}
-			row = append(row, f2(res.Time/base))
+		for _, tm := range times[i] {
+			row = append(row, f2(tm/base))
 		}
 		t.AddRow(row...)
 	}
@@ -455,18 +540,28 @@ func (r *Runner) Fig18() (*Table, error) {
 			"Paper shape: the chosen 2% step is within ~10% of the best in most cases.",
 		Columns: cols,
 	}
-	for _, b := range r.benchmarks() {
-		times := make([]sim.Time, len(steps))
-		for i, s := range steps {
-			res, err := r.fluidicl(b, core.Options{StepPct: s})
-			if err != nil {
-				return nil, err
-			}
-			times[i] = res.Time
+	benches := r.benchmarks()
+	ns := len(steps)
+	times := make([][]sim.Time, len(benches))
+	for i := range times {
+		times[i] = make([]sim.Time, ns)
+	}
+	err := r.cells(len(benches)*ns, func(c int) error {
+		i, j := c/ns, c%ns
+		res, err := r.fluidicl(benches[i], core.Options{StepPct: steps[j]})
+		if err != nil {
+			return err
 		}
-		base := times[2] // the 2% column
+		times[i][j] = res.Time
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
+		base := times[i][2] // the 2% column
 		row := []string{b.Name}
-		for _, tm := range times {
+		for _, tm := range times[i] {
 			row = append(row, f2(tm/base))
 		}
 		t.AddRow(row...)
@@ -555,19 +650,30 @@ func (r *Runner) Ablation() (*Table, error) {
 		Columns: cols,
 	}
 	gms := make([][]float64, len(configs))
-	for _, b := range r.benchmarks() {
+	benches := r.benchmarks()
+	nc := len(configs)
+	times := make([][]sim.Time, len(benches))
+	for i := range times {
+		times[i] = make([]sim.Time, nc)
+	}
+	err := r.cells(len(benches)*nc, func(c int) error {
+		i, j := c/nc, c%nc
+		res, err := r.fluidicl(benches[i], configs[j].opts)
+		if err != nil {
+			return err
+		}
+		times[i][j] = res.Time
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
 		row := []string{b.Name}
-		var base sim.Time
-		for i, c := range configs {
-			res, err := r.fluidicl(b, c.opts)
-			if err != nil {
-				return nil, err
-			}
-			if i == 0 {
-				base = res.Time
-			}
-			row = append(row, f2(res.Time/base))
-			gms[i] = append(gms[i], res.Time/base)
+		base := times[i][0]
+		for j := range configs {
+			row = append(row, f2(times[i][j]/base))
+			gms[j] = append(gms[j], times[i][j]/base)
 		}
 		t.AddRow(row...)
 	}
@@ -600,26 +706,42 @@ func (r *Runner) Portability() (*Table, error) {
 			"defaults run on three machines with very different device balances.",
 		Columns: []string{"Machine", "CPU", "GPU", "FluidiCL"},
 	}
-	for _, mc := range machines {
-		sub := &Runner{M: mc.m, Quick: r.Quick}
+	benches := r.benchmarks()
+	nb := len(benches)
+	// One flat cell per (machine, benchmark, strategy).
+	rs := make([][3]*sched.Result, len(machines)*nb)
+	err := r.cells(len(machines)*nb*3, func(c int) error {
+		mi, rest := c/(nb*3), c%(nb*3)
+		bi, k := rest/3, rest%3
+		sub := &Runner{M: machines[mi].m, Quick: r.Quick, Parallel: 1}
+		b := benches[bi]
+		var res *sched.Result
+		var err error
+		switch k {
+		case 0:
+			res, err = sub.single(b, false)
+		case 1:
+			res, err = sub.single(b, true)
+		default:
+			res, err = sub.fluidicl(b, core.Options{})
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", machines[mi].name, err)
+		}
+		rs[mi*nb+bi][k] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for mi, mc := range machines {
 		var nCPU, nGPU, nFCL []float64
-		for _, b := range sub.benchmarks() {
-			cpuRes, err := sub.single(b, false)
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", mc.name, err)
-			}
-			gpuRes, err := sub.single(b, true)
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", mc.name, err)
-			}
-			fclRes, err := sub.fluidicl(b, core.Options{})
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", mc.name, err)
-			}
-			best := minT(cpuRes.Time, gpuRes.Time)
-			nCPU = append(nCPU, cpuRes.Time/best)
-			nGPU = append(nGPU, gpuRes.Time/best)
-			nFCL = append(nFCL, fclRes.Time/best)
+		for bi := range benches {
+			cell := rs[mi*nb+bi]
+			best := minT(cell[0].Time, cell[1].Time)
+			nCPU = append(nCPU, cell[0].Time/best)
+			nGPU = append(nGPU, cell[1].Time/best)
+			nFCL = append(nFCL, cell[2].Time/best)
 		}
 		t.AddRow(mc.name, f2(geomean(nCPU)), f2(geomean(nGPU)), f2(geomean(nFCL)))
 	}

@@ -1,0 +1,63 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parallelism returns how many experiment cells may run concurrently:
+// Runner.Parallel when set, else GOMAXPROCS.
+func (r *Runner) parallelism() int {
+	if r.Parallel > 0 {
+		return r.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// cells runs fn(0) .. fn(n-1), each cell a self-contained simulation, on up
+// to parallelism() goroutines. Every cell owns its own sim.Env, so cells
+// never share mutable state; each fn writes its result into a distinct slot
+// of a caller-owned slice. The returned error is the lowest-index one —
+// exactly the error the sequential loop would have surfaced first.
+func (r *Runner) cells(n int, fn func(i int) error) error {
+	return parallelFor(r.parallelism(), n, fn)
+}
+
+// parallelFor is the generic worker loop behind Runner.cells.
+func parallelFor(workers, n int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for t := 0; t < workers; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

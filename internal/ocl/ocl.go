@@ -10,6 +10,7 @@ package ocl
 
 import (
 	"fmt"
+	"sync"
 
 	"fluidicl/internal/clc"
 	"fluidicl/internal/device"
@@ -53,28 +54,57 @@ type Program struct {
 	kernels map[string]*vm.Kernel
 }
 
+// buildEntry is one cached compilation: the immutable artifacts shared by
+// every Program built from the same source.
+type buildEntry struct {
+	prog    *clc.Program
+	info    *clc.ProgramInfo
+	kernels map[string]*vm.Kernel
+}
+
+// buildCache memoizes compilation by exact source text. Compiled programs,
+// program info and vm kernels are immutable after construction (a vm.Kernel's
+// only mutable field is its internal scratch pool, which is concurrency-safe),
+// so one compilation can back any number of contexts, simulations and
+// goroutines. Simulated build cost is unaffected — compilation happens on the
+// host, outside virtual time.
+var buildCache struct {
+	sync.Mutex
+	m map[string]*buildEntry
+}
+
 // BuildProgram parses, checks and compiles MiniCL source for this device
 // (clBuildProgram). Transformation passes, if any, must have been applied to
 // the source already — this mirrors vendor runtimes compiling whatever
-// source they are handed.
+// source they are handed. Identical source compiles once per process; repeat
+// builds are served from a cache.
 func (c *Context) BuildProgram(src string) (*Program, error) {
-	prog, err := clc.Parse(src)
-	if err != nil {
-		return nil, fmt.Errorf("ocl: build failed: %w", err)
+	buildCache.Lock()
+	defer buildCache.Unlock()
+	if buildCache.m == nil {
+		buildCache.m = map[string]*buildEntry{}
 	}
-	info, err := clc.Check(prog)
-	if err != nil {
-		return nil, fmt.Errorf("ocl: build failed: %w", err)
-	}
-	p := &Program{Ctx: c, Source: src, Prog: prog, Info: info, kernels: map[string]*vm.Kernel{}}
-	for name, ki := range info.Kernels {
-		k, err := vm.Compile(ki)
+	e, ok := buildCache.m[src]
+	if !ok {
+		prog, err := clc.Parse(src)
 		if err != nil {
-			return nil, fmt.Errorf("ocl: compiling kernel %q: %w", name, err)
+			return nil, fmt.Errorf("ocl: build failed: %w", err)
 		}
-		p.kernels[name] = k
+		info, err := clc.Check(prog)
+		if err != nil {
+			return nil, fmt.Errorf("ocl: build failed: %w", err)
+		}
+		e = &buildEntry{prog: prog, info: info, kernels: map[string]*vm.Kernel{}}
+		for name, ki := range info.Kernels {
+			k, err := vm.Compile(ki)
+			if err != nil {
+				return nil, fmt.Errorf("ocl: compiling kernel %q: %w", name, err)
+			}
+			e.kernels[name] = k
+		}
+		buildCache.m[src] = e // failed builds are never cached
 	}
-	return p, nil
+	return &Program{Ctx: c, Source: src, Prog: e.prog, Info: e.info, kernels: e.kernels}, nil
 }
 
 // Kernel is a kernel object from a built program (clCreateKernel).

@@ -9,10 +9,19 @@ import (
 // ExecOpts controls one work-group execution.
 type ExecOpts struct {
 	// Undo, when non-nil, records every global store so the caller can roll
-	// the work-group's effects back.
+	// the work-group's effects back. Ignored while Def is set (the deferred
+	// log records old values at commit time instead).
 	Undo *UndoLog
 	// MaxSteps bounds interpreted instructions per work-item (0 = default).
 	MaxSteps int64
+	// Def, when non-nil, redirects every global store into a deferred write
+	// log instead of mutating the buffer, and serves the group's own stores
+	// back to its loads. The launch engine uses this to execute work-groups
+	// speculatively.
+	Def *DeferredWrites
+	// ArgsChecked skips per-call argument validation; set it only after a
+	// successful CheckArgs for the same kernel and argument list.
+	ArgsChecked bool
 }
 
 const defaultMaxSteps = 256 << 20
@@ -128,10 +137,20 @@ func (t *memTracker) access(memID int32, off int32, firstInWarp bool, st *Stats)
 // group is in full-grid coordinates. It returns the dynamic stats of the
 // execution.
 func (k *Kernel) ExecWorkGroup(nd NDRange, group [3]int, args []Arg, opts ExecOpts) (Stats, error) {
-	var st Stats
-	if err := k.checkArgs(args); err != nil {
-		return st, err
+	if !opts.ArgsChecked {
+		if err := k.CheckArgs(args); err != nil {
+			return Stats{}, err
+		}
 	}
+	sc := k.getScratch()
+	st, err := k.execWG(nd, group, args, opts, sc)
+	k.putScratch(sc)
+	return st, err
+}
+
+// execWG interprets one work-group against pooled scratch state.
+func (k *Kernel) execWG(nd NDRange, group [3]int, args []Arg, opts ExecOpts, sc *wgScratch) (Stats, error) {
+	var st Stats
 	maxSteps := opts.MaxSteps
 	if maxSteps <= 0 {
 		maxSteps = defaultMaxSteps
@@ -142,12 +161,8 @@ func (k *Kernel) ExecWorkGroup(nd NDRange, group [3]int, args []Arg, opts ExecOp
 	st.WorkItems = nWI
 
 	// Local arrays, shared by the group's work-items.
-	locals := make([][]byte, len(k.LocalArrs))
-	for i, la := range k.LocalArrs {
-		locals[i] = make([]byte, la.Len*la.Elem.Size())
-	}
-
-	tr := newMemTracker(k.NumMemOps)
+	locals := sc.localsFor(k)
+	tr := sc.trackerFor(k)
 
 	run := func(w *wiState, lid [3]int, wi int) (atBarrier bool, err error) {
 		return k.run(w, nd, group, lid, wi, args, locals, tr, &st, opts, maxSteps)
@@ -160,11 +175,7 @@ func (k *Kernel) ExecWorkGroup(nd NDRange, group [3]int, args []Arg, opts ExecOp
 	}
 
 	if !k.HasBarrier {
-		w := &wiState{
-			iregs: make([]int64, k.NumI),
-			fregs: make([]float64, k.NumF),
-		}
-		w.priv = k.allocPriv()
+		w := sc.singleFor(k)
 		for wi := 0; wi < nWI; wi++ {
 			w.reset(k)
 			tr.nextWI(wi%warpSize == 0)
@@ -176,14 +187,7 @@ func (k *Kernel) ExecWorkGroup(nd NDRange, group [3]int, args []Arg, opts ExecOp
 	}
 
 	// Barrier path: phased execution of persistent per-work-item contexts.
-	states := make([]*wiState, nWI)
-	for wi := range states {
-		states[wi] = &wiState{
-			iregs: make([]int64, k.NumI),
-			fregs: make([]float64, k.NumF),
-			priv:  k.allocPriv(),
-		}
-	}
+	states := sc.statesFor(k, nWI)
 	for {
 		anyBarrier, anyDone := false, false
 		barrierPC := -1
@@ -237,7 +241,10 @@ func (k *Kernel) allocPriv() [][]byte {
 	return priv
 }
 
-func (k *Kernel) checkArgs(args []Arg) error {
+// CheckArgs validates an argument list against the kernel signature. Callers
+// that validate once per launch may set ExecOpts.ArgsChecked to skip the
+// per-work-group re-validation.
+func (k *Kernel) CheckArgs(args []Arg) error {
 	if len(args) != len(k.Params) {
 		return fmt.Errorf("vm: kernel %q expects %d args, got %d", k.Name, len(k.Params), len(args))
 	}
@@ -272,6 +279,7 @@ func (k *Kernel) run(w *wiState, nd NDRange, group, lid [3]int, wi int,
 	iregs, fregs := w.iregs, w.fregs
 	code := k.Code
 	firstInWarp := wi%warpSize == 0
+	def := opts.Def
 	var steps int64
 
 	dimVal := func(vals [3]int, d int64) int64 {
@@ -410,7 +418,14 @@ func (k *Kernel) run(w *wiState, nd NDRange, group, lid [3]int, wi int,
 			if err2 != nil {
 				return false, &execError{k.Name, w.pc, fmt.Sprintf("load %s: %v", k.Params[in.B].Name, err2)}
 			}
-			fregs[in.A] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[off:])))
+			bits := binary.LittleEndian.Uint32(buf[off:])
+			if def != nil {
+				def.noteRead(in.B, off)
+				if v, ok := def.lookup(in.B, off); ok {
+					bits = v
+				}
+			}
+			fregs[in.A] = float64(math.Float32frombits(bits))
 			st.GlobalLoads++
 			st.GlobalLoadBytes += 4
 			tr.access(in.D, off, firstInWarp, st)
@@ -420,7 +435,14 @@ func (k *Kernel) run(w *wiState, nd NDRange, group, lid [3]int, wi int,
 			if err2 != nil {
 				return false, &execError{k.Name, w.pc, fmt.Sprintf("load %s: %v", k.Params[in.B].Name, err2)}
 			}
-			iregs[in.A] = int64(int32(binary.LittleEndian.Uint32(buf[off:])))
+			bits := binary.LittleEndian.Uint32(buf[off:])
+			if def != nil {
+				def.noteRead(in.B, off)
+				if v, ok := def.lookup(in.B, off); ok {
+					bits = v
+				}
+			}
+			iregs[in.A] = int64(int32(bits))
 			st.GlobalLoads++
 			st.GlobalLoadBytes += 4
 			tr.access(in.D, off, firstInWarp, st)
@@ -430,12 +452,17 @@ func (k *Kernel) run(w *wiState, nd NDRange, group, lid [3]int, wi int,
 			if err2 != nil {
 				return false, &execError{k.Name, w.pc, fmt.Sprintf("store %s: %v", k.Params[in.B].Name, err2)}
 			}
-			if opts.Undo != nil {
-				var old [4]byte
-				copy(old[:], buf[off:off+4])
-				opts.Undo.recs = append(opts.Undo.recs, UndoRecord{Buf: buf, Off: int(off), Old: old})
+			bits := math.Float32bits(float32(fregs[in.A]))
+			if def != nil {
+				def.store(in.B, off, bits)
+			} else {
+				if opts.Undo != nil {
+					var old [4]byte
+					copy(old[:], buf[off:off+4])
+					opts.Undo.recs = append(opts.Undo.recs, UndoRecord{Buf: buf, Off: int(off), Old: old})
+				}
+				binary.LittleEndian.PutUint32(buf[off:], bits)
 			}
-			binary.LittleEndian.PutUint32(buf[off:], math.Float32bits(float32(fregs[in.A])))
 			st.GlobalStores++
 			st.GlobalStoreBytes += 4
 			tr.access(in.D, off, firstInWarp, st)
@@ -445,12 +472,17 @@ func (k *Kernel) run(w *wiState, nd NDRange, group, lid [3]int, wi int,
 			if err2 != nil {
 				return false, &execError{k.Name, w.pc, fmt.Sprintf("store %s: %v", k.Params[in.B].Name, err2)}
 			}
-			if opts.Undo != nil {
-				var old [4]byte
-				copy(old[:], buf[off:off+4])
-				opts.Undo.recs = append(opts.Undo.recs, UndoRecord{Buf: buf, Off: int(off), Old: old})
+			bits := uint32(int32(iregs[in.A]))
+			if def != nil {
+				def.store(in.B, off, bits)
+			} else {
+				if opts.Undo != nil {
+					var old [4]byte
+					copy(old[:], buf[off:off+4])
+					opts.Undo.recs = append(opts.Undo.recs, UndoRecord{Buf: buf, Off: int(off), Old: old})
+				}
+				binary.LittleEndian.PutUint32(buf[off:], bits)
 			}
-			binary.LittleEndian.PutUint32(buf[off:], uint32(int32(iregs[in.A])))
 			st.GlobalStores++
 			st.GlobalStoreBytes += 4
 			tr.access(in.D, off, firstInWarp, st)
@@ -632,12 +664,36 @@ func byteOff(idx int64, bufLen int) (int32, error) {
 	return int32(off), nil
 }
 
-// ExecLaunch executes every work-group of the launch slice sequentially and
-// returns aggregate stats. It is a convenience for tests and single-device
-// paths that do not need per-group timing.
+// ExecLaunch executes every work-group of the launch slice and returns
+// aggregate stats. It is a convenience for tests and single-device paths
+// that do not need per-group timing. With Workers() > 1 the groups are
+// interpreted speculatively in parallel and committed in launch order;
+// results (buffers, stats, undo log) are byte-identical to the sequential
+// path.
 func (k *Kernel) ExecLaunch(nd NDRange, args []Arg, opts ExecOpts) (Stats, error) {
 	var total Stats
-	for i := 0; i < nd.LaunchGroups(); i++ {
+	if !opts.ArgsChecked {
+		if err := k.CheckArgs(args); err != nil {
+			return total, err
+		}
+		opts.ArgsChecked = true
+	}
+	n := nd.LaunchGroups()
+	if w := Workers(); w > 1 && n > 1 && opts.Def == nil {
+		undo := opts.Undo
+		if eng, err := NewLaunchEngine(k, nd, args, opts, w, nil); err == nil && eng != nil {
+			for i := 0; i < n; i++ {
+				st, err := eng.Result(i)
+				total.Add(st)
+				eng.Commit(i, undo)
+				if err != nil {
+					return total, err
+				}
+			}
+			return total, nil
+		}
+	}
+	for i := 0; i < n; i++ {
 		st, err := k.ExecWorkGroup(nd, nd.GroupAt(i), args, opts)
 		total.Add(st)
 		if err != nil {

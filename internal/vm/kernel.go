@@ -8,6 +8,7 @@ package vm
 
 import (
 	"fmt"
+	"sync"
 
 	"fluidicl/internal/clc"
 )
@@ -176,6 +177,11 @@ type Kernel struct {
 	PrivArrs   []ArrayInfo // allocated per work-item
 	NumMemOps  int         // static count of global memory instructions
 	Info       *clc.KernelInfo
+
+	// scratch pools per-work-group execution state (*wgScratch). A compiled
+	// kernel is otherwise immutable, so one Kernel may execute work-groups
+	// from many goroutines concurrently.
+	scratch sync.Pool
 }
 
 // NDRange describes a kernel launch: the full work-group grid of the

@@ -1,0 +1,295 @@
+package vm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+
+	"fluidicl/internal/clc"
+)
+
+// withWorkers runs fn with the global worker knob set to n, restoring the
+// default afterwards.
+func withWorkers(t *testing.T, n int, fn func()) {
+	t.Helper()
+	SetWorkers(n)
+	defer SetWorkers(0)
+	fn()
+}
+
+// TestParallelLaunchConflictChain executes a kernel where every work-group
+// reads the previous group's output — the worst case for speculation, since
+// every speculative result is invalidated and must re-execute serially. The
+// parallel path must still produce byte-identical memory and stats.
+func TestParallelLaunchConflictChain(t *testing.T) {
+	k := MustCompile(`
+__kernel void chain(__global int* a, int n) {
+    int i = get_global_id(0);
+    if (i > 0 && i < n) { a[i] = a[i - 1] + i; }
+}
+`, "chain")
+	n := 64
+	nd := NewNDRange1D(n, 1) // one work-item per group: a pure cross-group chain
+
+	run := func(workers int) ([]byte, Stats) {
+		buf := make([]byte, 4*n)
+		var st Stats
+		var err error
+		withWorkers(t, workers, func() {
+			st, err = k.ExecLaunch(nd, []Arg{BufArg(buf), IntArg(int64(n))}, ExecOpts{})
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return buf, st
+	}
+
+	seqBuf, seqSt := run(1)
+	parBuf, parSt := run(8)
+	if !bytes.Equal(seqBuf, parBuf) {
+		t.Fatalf("parallel buffer differs from sequential")
+	}
+	if seqSt != parSt {
+		t.Fatalf("stats differ: seq=%+v par=%+v", seqSt, parSt)
+	}
+	// Sanity: the chain really is sequential — a[i] = sum(1..i).
+	want := int32(0)
+	for i := 1; i < n; i++ {
+		want += int32(i)
+		if got := i32at(seqBuf, i); got != want {
+			t.Fatalf("a[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestParallelLaunchAliasedArgsFallBack passes the same buffer twice; the
+// engine must refuse to speculate (aliased stores could not be attributed to
+// one argument) and the sequential fallback must still be correct.
+func TestParallelLaunchAliasedArgsFallBack(t *testing.T) {
+	k := MustCompile(`
+__kernel void twice(__global int* a, __global int* b, int n) {
+    int i = get_global_id(0);
+    if (i < n) { b[i] = a[i] + 1; }
+}
+`, "twice")
+	n := 32
+	nd := NewNDRange1D(n, 4)
+	buf := make([]byte, 4*n)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(int32(i)))
+	}
+	args := []Arg{BufArg(buf), BufArg(buf), IntArg(int64(n))}
+
+	if eng, err := NewLaunchEngine(k, nd, args, ExecOpts{}, 4, nil); err != nil || eng != nil {
+		t.Fatalf("aliased args: engine=%v err=%v, want nil engine, nil err", eng, err)
+	}
+	withWorkers(t, 8, func() {
+		if _, err := k.ExecLaunch(nd, args, ExecOpts{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	for i := 0; i < n; i++ {
+		if got := i32at(buf, i); got != int32(i+1) {
+			t.Fatalf("a[%d] = %d, want %d", i, got, i+1)
+		}
+	}
+}
+
+// TestParallelLaunchErrorPartialWrites checks that a faulting launch leaves
+// memory in exactly the state the sequential path leaves it in: every group
+// before the faulting one committed, the faulting group's stores up to the
+// fault applied, later groups not run.
+func TestParallelLaunchErrorPartialWrites(t *testing.T) {
+	k := MustCompile(`
+__kernel void faulty(__global int* a, int n) {
+    int i = get_global_id(0);
+    a[i] = i + 100;
+    if (i == 37) { a[n * n] = 1; }
+}
+`, "faulty")
+	n := 48
+	nd := NewNDRange1D(n, 4)
+
+	run := func(workers int) ([]byte, string) {
+		buf := make([]byte, 4*n)
+		var err error
+		withWorkers(t, workers, func() {
+			_, err = k.ExecLaunch(nd, []Arg{BufArg(buf), IntArg(int64(n))}, ExecOpts{})
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: expected out-of-range error", workers)
+		}
+		return buf, err.Error()
+	}
+
+	seqBuf, seqErr := run(1)
+	parBuf, parErr := run(8)
+	if seqErr != parErr {
+		t.Fatalf("error differs:\nseq: %s\npar: %s", seqErr, parErr)
+	}
+	if !bytes.Equal(seqBuf, parBuf) {
+		t.Fatalf("post-error buffer differs from sequential")
+	}
+}
+
+// TestParallelLaunchUndoMatchesSequential runs with an undo log under both
+// worker counts; the logs must be byte-for-byte equivalent (as witnessed by
+// rolling both back to the identical initial state).
+func TestParallelLaunchUndoMatchesSequential(t *testing.T) {
+	k := MustCompile(`
+__kernel void accum(__global float* a, __global float* b, int n) {
+    int i = get_global_id(0);
+    if (i < n) { b[i] = b[i] * 0.5f + a[i]; }
+}
+`, "accum")
+	n := 64
+	nd := NewNDRange1D(n, 8)
+
+	mk := func() ([]byte, []byte) {
+		a := make([]byte, 4*n)
+		b := make([]byte, 4*n)
+		r := rand.New(rand.NewSource(11))
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(a[4*i:], math.Float32bits(float32(r.Float64()*8-4)))
+			binary.LittleEndian.PutUint32(b[4*i:], math.Float32bits(float32(r.Float64()*8-4)))
+		}
+		return a, b
+	}
+
+	run := func(workers int) (after, rolledBack []byte, recs int) {
+		a, b := mk()
+		undo := &UndoLog{}
+		var err error
+		withWorkers(t, workers, func() {
+			_, err = k.ExecLaunch(nd, []Arg{BufArg(a), BufArg(b), IntArg(int64(n))}, ExecOpts{Undo: undo})
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		after = append([]byte{}, b...)
+		recs = undo.Len()
+		undo.Rollback()
+		rolledBack = append([]byte{}, b...)
+		return
+	}
+
+	seqAfter, seqRolled, seqRecs := run(1)
+	parAfter, parRolled, parRecs := run(8)
+	if !bytes.Equal(seqAfter, parAfter) {
+		t.Fatal("post-run buffers differ")
+	}
+	if seqRecs != parRecs {
+		t.Fatalf("undo record counts differ: seq=%d par=%d", seqRecs, parRecs)
+	}
+	if !bytes.Equal(seqRolled, parRolled) {
+		t.Fatal("rolled-back buffers differ")
+	}
+}
+
+// TestParallelLaunchRandomProgramsMatchSequential is the speculative engine's
+// differential test: random generated kernels (with loops, barriers, local
+// arrays, global read/write mixes) run under workers=1 and workers=8 and must
+// produce identical buffers, stats and error status.
+func TestParallelLaunchRandomProgramsMatchSequential(t *testing.T) {
+	const trials = 40
+	n := 32
+	for seed := 0; seed < trials; seed++ {
+		g := &progGen{r: rand.New(rand.NewSource(int64(seed) + 1000))}
+		src := g.generate()
+		ki, err := clc.FindKernelInfo(src, "diff")
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		k, err := Compile(ki)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		mkBufs := func() ([]byte, []byte) {
+			fb := make([]byte, 4*n)
+			ib := make([]byte, 4*n)
+			r := rand.New(rand.NewSource(int64(seed) * 31))
+			for i := 0; i < n; i++ {
+				binary.LittleEndian.PutUint32(fb[4*i:], math.Float32bits(float32(r.Float64()*16-8)))
+				binary.LittleEndian.PutUint32(ib[4*i:], uint32(int32(r.Intn(41)-20)))
+			}
+			return fb, ib
+		}
+		nd := NewNDRange1D(n, 8)
+		p1 := int64(seed%13 - 6)
+		fp := float64(seed%17)/3 - 2
+
+		run := func(workers int) ([]byte, []byte, Stats, error) {
+			fb, ib := mkBufs()
+			var st Stats
+			var err error
+			withWorkers(t, workers, func() {
+				st, err = k.ExecLaunch(nd, []Arg{BufArg(fb), BufArg(ib), IntArg(int64(n)), IntArg(p1), FloatArg(fp)}, ExecOpts{})
+			})
+			return fb, ib, st, err
+		}
+
+		fbS, ibS, stS, errS := run(1)
+		fbP, ibP, stP, errP := run(8)
+		if (errS == nil) != (errP == nil) {
+			t.Fatalf("seed %d: error disagreement: seq=%v par=%v\n%s", seed, errS, errP, src)
+		}
+		if errS != nil && errS.Error() != errP.Error() {
+			t.Fatalf("seed %d: error text differs:\nseq: %v\npar: %v\n%s", seed, errS, errP, src)
+		}
+		if !bytes.Equal(fbS, fbP) || !bytes.Equal(ibS, ibP) {
+			t.Fatalf("seed %d: buffers differ between workers=1 and workers=8\n%s", seed, src)
+		}
+		if errS == nil && stS != stP {
+			t.Fatalf("seed %d: stats differ:\nseq=%+v\npar=%+v\n%s", seed, stS, stP, src)
+		}
+	}
+}
+
+// TestRefExecLaunchParallelMatchesSequential runs the reference interpreter's
+// launch path under both worker counts over random programs.
+func TestRefExecLaunchParallelMatchesSequential(t *testing.T) {
+	const trials = 25
+	n := 32
+	for seed := 0; seed < trials; seed++ {
+		g := &progGen{r: rand.New(rand.NewSource(int64(seed) + 5000))}
+		src := g.generate()
+		ki, err := clc.FindKernelInfo(src, "diff")
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		ref, err := NewRefExec(ki)
+		if err != nil {
+			continue // barrier kernels are rejected by RefExec
+		}
+		mkBufs := func() ([]byte, []byte) {
+			fb := make([]byte, 4*n)
+			ib := make([]byte, 4*n)
+			r := rand.New(rand.NewSource(int64(seed) * 13))
+			for i := 0; i < n; i++ {
+				binary.LittleEndian.PutUint32(fb[4*i:], math.Float32bits(float32(r.Float64()*16-8)))
+				binary.LittleEndian.PutUint32(ib[4*i:], uint32(int32(r.Intn(41)-20)))
+			}
+			return fb, ib
+		}
+		nd := NewNDRange1D(n, 8)
+		args := func(fb, ib []byte) []Arg {
+			return []Arg{BufArg(fb), BufArg(ib), IntArg(int64(n)), IntArg(3), FloatArg(1.5)}
+		}
+
+		fbS, ibS := mkBufs()
+		var errS error
+		withWorkers(t, 1, func() { errS = ref.ExecLaunch(nd, args(fbS, ibS)) })
+		fbP, ibP := mkBufs()
+		var errP error
+		withWorkers(t, 8, func() { errP = ref.ExecLaunch(nd, args(fbP, ibP)) })
+
+		if (errS == nil) != (errP == nil) {
+			t.Fatalf("seed %d: error disagreement: seq=%v par=%v\n%s", seed, errS, errP, src)
+		}
+		if !bytes.Equal(fbS, fbP) || !bytes.Equal(ibS, ibP) {
+			t.Fatalf("seed %d: ref buffers differ between workers=1 and workers=8\n%s", seed, src)
+		}
+	}
+}

@@ -1,0 +1,10 @@
+#!/bin/sh
+# CI gate: build, vet, race-clean tests (includes the determinism regression
+# tests), plus a one-iteration benchmark smoke. Mirrors `make check` for
+# environments without make.
+set -eux
+
+go build ./...
+go vet ./...
+go test -race ./...
+go test -bench 'BenchmarkOverall' -benchtime=1x -run '^$' .
