@@ -1,9 +1,18 @@
 GO ?= go
 
-.PHONY: check build vet test race bench-smoke bench bench-baseline
+.PHONY: check fmt-check lint build vet test race bench-smoke bench bench-baseline
 
-# The full CI gate: build, vet, race-clean tests, benchmark smoke.
-check: build vet race bench-smoke
+# The full CI gate: formatting, build, vet, race-clean tests, kernel lint,
+# benchmark smoke.
+check: fmt-check build vet race lint bench-smoke
+
+fmt-check:
+	@files=$$(gofmt -l .); if [ -n "$$files" ]; then \
+		echo "gofmt: needs formatting:"; echo "$$files"; exit 1; fi
+
+# Static kernel lint: built-in Polybench + merge kernels and on-disk .cl files.
+lint:
+	$(GO) run ./cmd/fluidilint -builtin examples/quickstart/kernel.cl
 
 build:
 	$(GO) build ./...
@@ -14,8 +23,10 @@ vet:
 test:
 	$(GO) test ./...
 
+# Longer timeout: the harness package re-runs every experiment and is far
+# slower under the race detector than go test's 600s default allows.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 1800s ./...
 
 # One iteration of the headline benchmark, as a does-it-still-run smoke.
 bench-smoke:

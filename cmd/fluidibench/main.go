@@ -72,6 +72,7 @@ func main() {
 		ids := append(append([]string{}, harness.ExperimentIDs...), harness.ExtraExperimentIDs...)
 		var walls []wallEntry
 		for _, id := range ids {
+			before := core.CounterSnapshot()
 			start := time.Now()
 			t, err := r.Run(id)
 			wall := time.Since(start)
@@ -81,7 +82,7 @@ func main() {
 			}
 			emit(t, *csv)
 			fmt.Printf("[%s: %.2fs wall]\n\n", t.ID, wall.Seconds())
-			walls = append(walls, wallEntry{ID: t.ID, WallSeconds: wall.Seconds()})
+			walls = append(walls, newWallEntry(t.ID, wall.Seconds(), core.CounterSnapshot().Sub(before)))
 		}
 		writeWalls(*jsonOut, walls)
 		return
@@ -110,6 +111,7 @@ func main() {
 		}
 		return
 	default:
+		before := core.CounterSnapshot()
 		start := time.Now()
 		t, err := r.Run(args[0])
 		wall := time.Since(start)
@@ -118,14 +120,30 @@ func main() {
 		}
 		emit(t, *csv)
 		fmt.Printf("[%s: %.2fs wall]\n", t.ID, wall.Seconds())
-		writeWalls(*jsonOut, []wallEntry{{ID: t.ID, WallSeconds: wall.Seconds()}})
+		writeWalls(*jsonOut, []wallEntry{newWallEntry(t.ID, wall.Seconds(), core.CounterSnapshot().Sub(before))})
 	}
 }
 
-// wallEntry is one experiment's host wall-clock cost (not virtual time).
+// wallEntry is one experiment's host wall-clock cost (not virtual time)
+// plus the summary-driven elision counters its FluidiCL runs accumulated.
 type wallEntry struct {
-	ID          string  `json:"id"`
-	WallSeconds float64 `json:"wall_seconds"`
+	ID                string  `json:"id"`
+	WallSeconds       float64 `json:"wall_seconds"`
+	UploadsSkipped    int64   `json:"uploads_skipped"`
+	PrimeCopiesElided int64   `json:"prime_copies_elided"`
+	ShipBytesSkipped  int64   `json:"ship_bytes_skipped"`
+	MergeWordsElided  int64   `json:"merge_words_elided"`
+}
+
+func newWallEntry(id string, wall float64, c core.Counters) wallEntry {
+	return wallEntry{
+		ID:                id,
+		WallSeconds:       wall,
+		UploadsSkipped:    c.UploadsSkipped,
+		PrimeCopiesElided: c.PrimeCopiesElided,
+		ShipBytesSkipped:  c.ShipBytesSkipped,
+		MergeWordsElided:  c.MergeWordsElided,
+	}
 }
 
 func writeWalls(path string, walls []wallEntry) {

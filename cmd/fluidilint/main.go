@@ -1,0 +1,76 @@
+// Command fluidilint runs FluidiCL's static kernel analyzer over MiniCL
+// sources and reports lint diagnostics with file:line:col positions. It
+// exits non-zero when any diagnostic (or parse/sema error) is found, so it
+// can gate CI.
+//
+// Usage:
+//
+//	fluidilint [flags] file.cl...   # lint MiniCL source files
+//	fluidilint -builtin             # lint every shipped kernel source
+//	                                # (Polybench suite + the merge kernel)
+//	fluidilint -summary file.cl     # also print buffer access summaries
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fluidicl/internal/analysis"
+	"fluidicl/internal/passes"
+	"fluidicl/internal/polybench"
+)
+
+func main() {
+	builtin := flag.Bool("builtin", false, "lint the shipped kernel sources (Polybench suite and the FluidiCL merge kernel)")
+	summary := flag.Bool("summary", false, "print per-kernel buffer access summaries and barrier reports")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: fluidilint [-summary] [-builtin] [file.cl...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if !*builtin && flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ndiags := 0
+	lint := func(name, src string) {
+		ps, err := analysis.AnalyzeSource(src, name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			ndiags++
+			return
+		}
+		for _, d := range ps.Diags {
+			fmt.Println(d)
+		}
+		ndiags += len(ps.Diags)
+		if *summary {
+			for _, kn := range ps.Order {
+				fmt.Print(ps.Kernels[kn])
+			}
+		}
+	}
+
+	if *builtin {
+		for _, s := range polybench.Sources() {
+			lint("builtin:"+s.Name, s.Src)
+		}
+		lint("builtin:fcl_merge", passes.MergeKernelSource)
+	}
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fluidilint:", err)
+			os.Exit(2)
+		}
+		lint(path, string(data))
+	}
+
+	if ndiags > 0 {
+		fmt.Fprintf(os.Stderr, "fluidilint: %d diagnostic(s)\n", ndiags)
+		os.Exit(1)
+	}
+}

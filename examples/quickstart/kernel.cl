@@ -1,0 +1,6 @@
+__kernel void saxpy(__global float* x, __global float* y, float a, int n) {
+    int i = get_global_id(0);
+    if (i < n) {
+        y[i] = a * x[i] + y[i];
+    }
+}

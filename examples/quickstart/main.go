@@ -10,6 +10,7 @@
 package main
 
 import (
+	_ "embed"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -20,14 +21,11 @@ import (
 	"fluidicl/internal/vm"
 )
 
-const saxpySrc = `
-__kernel void saxpy(__global float* x, __global float* y, float a, int n) {
-    int i = get_global_id(0);
-    if (i < n) {
-        y[i] = a * x[i] + y[i];
-    }
-}
-`
+// The kernel lives in its own .cl file so `fluidilint` can check it as part
+// of scripts/check.sh.
+//
+//go:embed kernel.cl
+var saxpySrc string
 
 func main() {
 	// The simulated machine: the paper's Tesla C2070 + Xeon W3550.

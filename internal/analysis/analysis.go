@@ -1,0 +1,231 @@
+// Package analysis implements FluidiCL's static kernel analyzer: a
+// dataflow analysis over MiniCL kernel ASTs that produces per-kernel buffer
+// access summaries (read-only / write-only / read-write, and how index
+// expressions relate to the global id), a barrier report (including
+// barriers under work-item-divergent control flow, which is undefined
+// behaviour in OpenCL and blocks work-group splitting), and lint
+// diagnostics with source positions.
+//
+// The runtime consumes the summaries to make decisions from proofs instead
+// of conservatism: passes uses the barrier/race facts for work-group split
+// legality and drops redundant subkernel range guards; core uses
+// read-only/write-only facts to skip host transfers and scratch copies and
+// to narrow the diff+merge range. The VM's dynamic access stats cross-check
+// every summary at run time — a dynamic access outside the static summary
+// is a hard failure.
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"fluidicl/internal/clc"
+)
+
+// IndexClass classifies the index expressions a kernel uses to access one
+// buffer argument, joined over all accesses of a kind (worst wins).
+type IndexClass int
+
+// Index classes, ordered worst (least provable) to best.
+const (
+	// IdxUnknown: at least one index could not be proven affine or uniform
+	// (loop-carried values, loads, modulo arithmetic, ...).
+	IdxUnknown IndexClass = iota
+	// IdxUniform: every index is the same value for all work-items
+	// (constants, scalar parameters). Uniform stores are races.
+	IdxUniform
+	// IdxAffine: every index is an affine function of the global id with
+	// uniform (constant or scalar-parameter) coefficients — the access is
+	// provably confined to the work-item's own slice of the index space.
+	IdxAffine
+	// IdxNone: the argument has no accesses of this kind.
+	IdxNone
+)
+
+func (c IndexClass) String() string {
+	switch c {
+	case IdxUniform:
+		return "uniform"
+	case IdxAffine:
+		return "affine(gid)"
+	case IdxNone:
+		return "none"
+	}
+	return "unknown"
+}
+
+func mergeClass(a, b IndexClass) IndexClass {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ArgSummary is the access summary for one pointer parameter.
+type ArgSummary struct {
+	Name  string
+	Index int // parameter position
+	Space clc.AddrSpace
+	Elem  clc.ScalarKind
+
+	Read    bool
+	Written bool
+
+	ReadIdx  IndexClass
+	WriteIdx IndexClass
+
+	// SlotExact: every store index is provably exactly the work-item's
+	// flattened global id (get_global_id(0) in a 1-D launch, unit
+	// coefficient, zero offset). Work-item i writes word i and nothing
+	// else, which lets the runtime ship, merge and re-execute the
+	// argument's slice by range.
+	SlotExact bool
+}
+
+// ReadOnly reports a read-never-written argument.
+func (a *ArgSummary) ReadOnly() bool { return a.Read && !a.Written }
+
+// WriteOnly reports a written-never-read argument.
+func (a *ArgSummary) WriteOnly() bool { return a.Written && !a.Read }
+
+func (a *ArgSummary) accessString() string {
+	switch {
+	case a.Read && a.Written:
+		return "read-write"
+	case a.Written:
+		return "write-only"
+	case a.Read:
+		return "read-only"
+	}
+	return "unused"
+}
+
+// BarrierSite is one barrier() call site.
+type BarrierSite struct {
+	Pos clc.Pos
+	// Divergent: the barrier is control-dependent on get_global_id or
+	// get_local_id, so work-items of one group may disagree on reaching it
+	// — undefined behaviour in OpenCL.
+	Divergent bool
+}
+
+// KernelSummary is the analyzer's result for one kernel.
+type KernelSummary struct {
+	Name     string
+	Args     []ArgSummary // pointer parameters, declaration order
+	Barriers []BarrierSite
+	Races    int // inter-work-item race diagnostics found
+	Diags    []clc.Diag
+}
+
+// Arg returns the summary for the named pointer parameter, or nil.
+func (ks *KernelSummary) Arg(name string) *ArgSummary {
+	for i := range ks.Args {
+		if ks.Args[i].Name == name {
+			return &ks.Args[i]
+		}
+	}
+	return nil
+}
+
+// HasDivergentBarrier reports whether any barrier sits under
+// work-item-divergent control flow.
+func (ks *KernelSummary) HasDivergentBarrier() bool {
+	for _, b := range ks.Barriers {
+		if b.Divergent {
+			return true
+		}
+	}
+	return false
+}
+
+// WritesSlotExactOnly reports whether every written pointer argument is a
+// write-only __global buffer with slot-exact stores. Such kernels are
+// idempotent under re-execution of any work-item subset: re-running item i
+// recomputes exactly word i of each output from unwritten inputs.
+func (ks *KernelSummary) WritesSlotExactOnly() bool {
+	any := false
+	for i := range ks.Args {
+		a := &ks.Args[i]
+		if !a.Written {
+			continue
+		}
+		any = true
+		if a.Read || a.Space != clc.SpaceGlobal || !a.SlotExact {
+			return false
+		}
+	}
+	return any
+}
+
+// String renders the summary in the golden-file format.
+func (ks *KernelSummary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel %s:\n", ks.Name)
+	for i := range ks.Args {
+		a := &ks.Args[i]
+		fmt.Fprintf(&b, "  arg %-8s %s %s* %s", a.Name, a.Space, a.Elem, a.accessString())
+		if a.Read {
+			fmt.Fprintf(&b, ", reads %s", a.ReadIdx)
+		}
+		if a.Written {
+			fmt.Fprintf(&b, ", writes %s", a.WriteIdx)
+			if a.SlotExact {
+				b.WriteString(" slot-exact")
+			}
+		}
+		b.WriteString("\n")
+	}
+	for _, site := range ks.Barriers {
+		div := ""
+		if site.Divergent {
+			div = " DIVERGENT"
+		}
+		fmt.Fprintf(&b, "  barrier at %s%s\n", site.Pos, div)
+	}
+	for _, d := range ks.Diags {
+		fmt.Fprintf(&b, "  diag %s\n", d)
+	}
+	return b.String()
+}
+
+// ProgramSummary is the analyzer's result for a translation unit.
+type ProgramSummary struct {
+	Kernels map[string]*KernelSummary
+	Order   []string   // kernel names in source order
+	Diags   []clc.Diag // all kernels' diagnostics, in source order
+}
+
+// AnalyzeSource parses, checks and analyzes MiniCL source. file labels
+// diagnostics; the returned error covers parse/sema failures only (lint
+// findings are in the summary).
+func AnalyzeSource(src, file string) (*ProgramSummary, error) {
+	prog, err := clc.Parse(src)
+	if err != nil {
+		return nil, positionError(err, file)
+	}
+	if _, err := clc.Check(prog); err != nil {
+		return nil, positionError(err, file)
+	}
+	return AnalyzeProgram(prog, file), nil
+}
+
+// positionError attaches the file name to a positioned front-end error.
+func positionError(err error, file string) error {
+	if e, ok := err.(*clc.Error); ok && file != "" {
+		return clc.Diag{File: file, Pos: e.Pos, Msg: e.Msg}
+	}
+	return err
+}
+
+// AnalyzeProgram analyzes a parsed program (checked or not).
+func AnalyzeProgram(prog *clc.Program, file string) *ProgramSummary {
+	ps := &ProgramSummary{Kernels: make(map[string]*KernelSummary)}
+	for _, k := range prog.Kernels {
+		ks := AnalyzeKernel(k, file)
+		ps.Kernels[k.Name] = ks
+		ps.Order = append(ps.Order, k.Name)
+		ps.Diags = append(ps.Diags, ks.Diags...)
+	}
+	return ps
+}

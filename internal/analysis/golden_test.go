@@ -1,0 +1,144 @@
+package analysis_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fluidicl/internal/analysis"
+	"fluidicl/internal/passes"
+	"fluidicl/internal/polybench"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// render is the canonical text form of an analysis result: every lint
+// diagnostic, then every kernel summary in declaration order.
+func render(ps *analysis.ProgramSummary) string {
+	var b strings.Builder
+	for _, d := range ps.Diags {
+		fmt.Fprintln(&b, d.Error())
+	}
+	for _, kn := range ps.Order {
+		b.WriteString(ps.Kernels[kn].String())
+	}
+	return b.String()
+}
+
+func checkGolden(t *testing.T, goldenPath, got string) {
+	t.Helper()
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("analysis output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", goldenPath, got, want)
+	}
+}
+
+func slug(name string) string {
+	return strings.ToLower(strings.Map(func(r rune) rune {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' {
+			return r
+		}
+		return '_'
+	}, name))
+}
+
+// TestPolybenchGolden pins the analyzer's summary for every shipped kernel
+// source, and requires all of them to lint clean.
+func TestPolybenchGolden(t *testing.T) {
+	srcs := polybench.Sources()
+	srcs = append(srcs, polybench.NamedSource{Name: "fcl-merge", Src: passes.MergeKernelSource})
+	for _, s := range srcs {
+		t.Run(s.Name, func(t *testing.T) {
+			ps, err := analysis.AnalyzeSource(s.Src, s.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ps.Diags) != 0 {
+				t.Errorf("shipped kernel source %s has lint diagnostics:\n%s", s.Name, render(ps))
+			}
+			checkGolden(t, filepath.Join("testdata", "polybench_"+slug(s.Name)+".golden"), render(ps))
+		})
+	}
+}
+
+// TestAdversarialGolden pins the diagnostics for kernels written to trip
+// each lint: a barrier under divergent control flow, inter-work-item
+// races, a constant out-of-bounds access and unused arguments/variables.
+func TestAdversarialGolden(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.cl"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no adversarial kernels found: %v", err)
+	}
+	for _, f := range files {
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			src, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps, err := analysis.AnalyzeSource(string(src), filepath.Base(f))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ps.Diags) == 0 {
+				t.Errorf("adversarial kernel %s produced no diagnostics", f)
+			}
+			checkGolden(t, strings.TrimSuffix(f, ".cl")+".golden", render(ps))
+		})
+	}
+}
+
+// TestAdversarialFacts spot-checks the structured facts behind the golden
+// text, so a formatting change cannot silently mask a regression.
+func TestAdversarialFacts(t *testing.T) {
+	mustAnalyze := func(path string) *analysis.ProgramSummary {
+		t.Helper()
+		src, err := os.ReadFile(filepath.Join("testdata", path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps, err := analysis.AnalyzeSource(string(src), path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ps
+	}
+
+	bar := mustAnalyze("divergent_barrier.cl")
+	if !bar.Kernels["divbar"].HasDivergentBarrier() {
+		t.Error("divbar: divergent barrier not detected")
+	}
+	if bar.Kernels["okbar"].HasDivergentBarrier() {
+		t.Error("okbar: uniform barrier misreported as divergent")
+	}
+
+	race := mustAnalyze("race.cl")
+	if got := race.Kernels["racy"].Races; got < 2 {
+		t.Errorf("racy: found %d race diagnostics, want >= 2", got)
+	}
+	if out := race.Kernels["racy"].Arg("out"); out == nil || out.SlotExact {
+		t.Error("racy: out must not be slot-exact (it has racy stores)")
+	}
+
+	oob := mustAnalyze("const_oob.cl")
+	found := false
+	for _, d := range oob.Kernels["oob"].Diags {
+		if strings.Contains(d.Msg, "out of bounds") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("oob: constant out-of-bounds store not flagged")
+	}
+}

@@ -1,0 +1,565 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"fluidicl/internal/clc"
+)
+
+// av is the abstract value of a scalar expression. The flags form a small
+// product lattice; joins only clear the positive flags and set the taints,
+// so fixpoints over loops converge in a few passes.
+type av struct {
+	gidExact bool // exactly get_global_id(0): unit coefficient, zero offset
+	affine   bool // affine in the global-id dims with uniform coefficients
+	uniform  bool // same value for every work-item of the NDRange
+	wiU      bool // same value for every work-item of one work-group
+	idDep    bool // derived from get_global_id/get_local_id (divergence taint)
+	loopDep  bool // varies across iterations of an enclosing loop
+}
+
+// uniformVal is the abstract value of constants and scalar parameters.
+// Uniform values are trivially affine (all global-id coefficients zero).
+func uniformVal() av { return av{affine: true, uniform: true, wiU: true} }
+
+func unknownVal() av { return av{} }
+
+// meet joins two control-flow paths: provable facts survive only if both
+// paths prove them; taints survive if either path carries them.
+func meet(a, b av) av {
+	return av{
+		gidExact: a.gidExact && b.gidExact,
+		affine:   a.affine && b.affine,
+		uniform:  a.uniform && b.uniform,
+		wiU:      a.wiU && b.wiU,
+		idDep:    a.idDep || b.idDep,
+		loopDep:  a.loopDep || b.loopDep,
+	}
+}
+
+// taint marks a value as work-item-dependent through control flow.
+func taint(a av) av { return av{idDep: true, loopDep: a.loopDep} }
+
+// class maps an abstract index value to its report class.
+func class(a av) IndexClass {
+	switch {
+	case a.loopDep:
+		return IdxUnknown
+	case a.affine && a.idDep:
+		return IdxAffine
+	case a.uniform:
+		return IdxUniform
+	}
+	return IdxUnknown
+}
+
+// arrayInfo describes a __local or __private array declared in the body.
+type arrayInfo struct {
+	length int64
+	local  bool
+}
+
+type analyzer struct {
+	k    *clc.Kernel
+	file string
+	sum  *KernelSummary
+
+	env    map[string]av
+	arrays map[string]arrayInfo
+	argIdx map[string]int // pointer param name -> index into sum.Args
+
+	divDepth  int  // enclosing conditions that are work-item-divergent
+	divSticky bool // a tainted return/break poisons everything after it
+
+	// loopEscape is set when a break/continue executes under divergent
+	// control inside the current loop: the rest of the loop body is then
+	// control-dependent on work-item identity.
+	loopEscape bool
+
+	reads    map[string]bool    // scalar vars read anywhere
+	declPos  map[string]clc.Pos // scalar var declaration positions
+	declared []string           // declaration order for deterministic diags
+	usedArgs map[string]bool    // params referenced anywhere
+}
+
+func (a *analyzer) divergent() bool { return a.divDepth > 0 || a.divSticky }
+
+func (a *analyzer) diag(pos clc.Pos, format string, args ...interface{}) {
+	a.sum.Diags = append(a.sum.Diags, clc.Diag{File: a.file, Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// AnalyzeKernel runs the abstract interpretation over one kernel.
+func AnalyzeKernel(k *clc.Kernel, file string) *KernelSummary {
+	a := &analyzer{
+		k:    k,
+		file: file,
+		sum:  &KernelSummary{Name: k.Name},
+
+		env:      make(map[string]av),
+		arrays:   make(map[string]arrayInfo),
+		argIdx:   make(map[string]int),
+		reads:    make(map[string]bool),
+		declPos:  make(map[string]clc.Pos),
+		usedArgs: make(map[string]bool),
+	}
+	for i, p := range k.Params {
+		if p.Ty.Ptr {
+			a.argIdx[p.Name] = len(a.sum.Args)
+			a.sum.Args = append(a.sum.Args, ArgSummary{
+				Name: p.Name, Index: i, Space: p.Ty.Space, Elem: p.Ty.Kind,
+				ReadIdx: IdxNone, WriteIdx: IdxNone,
+			})
+		} else {
+			a.env[p.Name] = uniformVal()
+		}
+	}
+	a.block(k.Body)
+	a.lintUnused()
+	a.dedup()
+	clc.SortDiags(a.sum.Diags)
+	return a.sum
+}
+
+// dedup collapses duplicates introduced by loop fixpoint re-analysis: the
+// same site may be visited several times. Barrier sites keep the worst
+// (divergent) verdict seen; race counts are recomputed from unique diags.
+func (a *analyzer) dedup() {
+	sites := make(map[clc.Pos]int)
+	var barriers []BarrierSite
+	for _, s := range a.sum.Barriers {
+		if i, ok := sites[s.Pos]; ok {
+			barriers[i].Divergent = barriers[i].Divergent || s.Divergent
+			continue
+		}
+		sites[s.Pos] = len(barriers)
+		barriers = append(barriers, s)
+	}
+	a.sum.Barriers = barriers
+
+	seen := make(map[clc.Diag]bool)
+	races := 0
+	var diags []clc.Diag
+	for _, d := range a.sum.Diags {
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		diags = append(diags, d)
+		if strings.Contains(d.Msg, "inter-work-item") {
+			races++
+		}
+	}
+	a.sum.Diags = diags
+	a.sum.Races = races
+}
+
+// ---- statements ----
+
+func (a *analyzer) block(b *clc.Block) {
+	for _, s := range b.Stmts {
+		a.stmt(s)
+	}
+}
+
+func (a *analyzer) stmt(s clc.Stmt) {
+	switch s := s.(type) {
+	case *clc.Block:
+		a.block(s)
+	case *clc.DeclStmt:
+		a.decl(s)
+	case *clc.AssignStmt:
+		a.assign(s)
+	case *clc.ExprStmt:
+		a.expr(s.X)
+	case *clc.IfStmt:
+		a.ifStmt(s)
+	case *clc.ForStmt:
+		a.forStmt(s)
+	case *clc.WhileStmt:
+		a.whileStmt(s)
+	case *clc.ReturnStmt:
+		if a.divergent() {
+			// Work-items disagree on exiting: everything after this point
+			// is control-dependent on work-item identity.
+			a.divSticky = true
+		}
+	case *clc.BreakStmt, *clc.ContinueStmt:
+		if a.divergent() {
+			a.loopEscape = true
+		}
+	}
+}
+
+func (a *analyzer) decl(d *clc.DeclStmt) {
+	if d.ArrayLen != nil {
+		n, _ := clc.ConstEval(d.ArrayLen)
+		a.arrays[d.Name] = arrayInfo{length: n, local: d.Space == clc.SpaceLocal}
+		return
+	}
+	a.declPos[d.Name] = d.Pos
+	a.declared = append(a.declared, d.Name)
+	v := uniformVal() // registers are zeroed: an uninitialized scalar is 0
+	if d.Init != nil {
+		v = a.expr(d.Init)
+	}
+	if a.divergent() {
+		// The declaration itself only runs on some work-items; the scope
+		// is confined to the divergent region, so the value stays as
+		// computed there (within the region all running items agree as far
+		// as the flags prove).
+		_ = v
+	}
+	a.env[d.Name] = v
+}
+
+func (a *analyzer) assign(s *clc.AssignStmt) {
+	rhs := a.expr(s.RHS)
+	switch lhs := s.LHS.(type) {
+	case *clc.Ident:
+		a.usedArgs[lhs.Name] = true
+		v := rhs
+		if s.Op != clc.ASSIGN {
+			// Compound assignment reads the old value too.
+			a.reads[lhs.Name] = true
+			old, ok := a.env[lhs.Name]
+			if !ok {
+				old = unknownVal()
+			}
+			v = binOpVal(opOfCompound(s.Op), old, rhs)
+		}
+		if a.divergent() {
+			// Assigned under id-dependent control: the merged value is
+			// work-item-dependent.
+			v = taint(v)
+		}
+		a.env[lhs.Name] = v
+	case *clc.IndexExpr:
+		idx := a.expr(lhs.Idx)
+		a.recordAccess(lhs, idx, true, s.Op != clc.ASSIGN, s.NodePos())
+	}
+}
+
+func (a *analyzer) ifStmt(s *clc.IfStmt) {
+	cond := a.expr(s.Cond)
+	tainted := cond.idDep
+	if tainted {
+		a.divDepth++
+	}
+	pre := a.snapshot()
+	a.block(s.Then)
+	thenEnv := a.snapshot()
+	a.restore(pre)
+	if s.Else != nil {
+		a.stmt(s.Else)
+	}
+	elseEnv := a.snapshot()
+	a.mergeEnvs(pre, thenEnv, elseEnv, tainted || cond.loopDep)
+	if tainted {
+		a.divDepth--
+	}
+}
+
+func (a *analyzer) forStmt(s *clc.ForStmt) {
+	if s.Init != nil {
+		a.stmt(s.Init)
+	}
+	a.loop(s.Cond, func() {
+		a.block(s.Body)
+		if s.Post != nil {
+			a.stmt(s.Post)
+		}
+	})
+}
+
+func (a *analyzer) whileStmt(s *clc.WhileStmt) {
+	a.loop(s.Cond, func() { a.block(s.Body) })
+}
+
+// loop runs the body to a fixpoint. Values assigned in the body are
+// loop-carried (loopDep); if the loop condition is id-dependent, or an
+// escape fires under divergent control, body re-analysis happens under
+// divergent context (work-items disagree on which iterations run).
+func (a *analyzer) loop(cond clc.Expr, body func()) {
+	condTaint := false
+	if cond != nil {
+		condTaint = a.expr(cond).idDep
+	}
+	prevEscape := a.loopEscape
+	a.loopEscape = false
+	for pass := 0; pass < 4; pass++ {
+		if condTaint || a.loopEscape {
+			a.divDepth++
+		}
+		pre := a.snapshot()
+		body()
+		post := a.snapshot()
+		if condTaint || a.loopEscape {
+			a.divDepth--
+		}
+		// Loop-head join: anything the body changed is loop-carried.
+		stable := true
+		for name, pv := range pre {
+			nv := meet(pv, post[name])
+			if post[name] != pv {
+				nv.loopDep = true
+				nv.gidExact = false
+				if condTaint || a.loopEscape {
+					nv = av{idDep: true, loopDep: true}
+				}
+			}
+			if nv != a.env[name] {
+				stable = false
+			}
+			a.env[name] = nv
+		}
+		if cond != nil {
+			if v := a.expr(cond); v.idDep {
+				condTaint = true
+			}
+		}
+		if stable {
+			break
+		}
+	}
+	a.loopEscape = prevEscape || a.loopEscape
+}
+
+func (a *analyzer) snapshot() map[string]av {
+	m := make(map[string]av, len(a.env))
+	for k, v := range a.env {
+		m[k] = v
+	}
+	return m
+}
+
+func (a *analyzer) restore(m map[string]av) {
+	a.env = make(map[string]av, len(m))
+	for k, v := range m {
+		a.env[k] = v
+	}
+}
+
+// mergeEnvs joins the two branch environments. Under a tainted condition,
+// any variable either branch changed becomes work-item-dependent.
+func (a *analyzer) mergeEnvs(pre, thenEnv, elseEnv map[string]av, tainted bool) {
+	a.env = make(map[string]av, len(pre))
+	for name, pv := range pre {
+		tv, ok1 := thenEnv[name]
+		if !ok1 {
+			tv = pv
+		}
+		ev, ok2 := elseEnv[name]
+		if !ok2 {
+			ev = pv
+		}
+		nv := meet(tv, ev)
+		if tainted && (tv != pv || ev != pv) {
+			nv = taint(nv)
+		}
+		a.env[name] = nv
+	}
+}
+
+// ---- expressions ----
+
+func (a *analyzer) expr(e clc.Expr) av {
+	switch e := e.(type) {
+	case *clc.IntLit, *clc.FloatLit, *clc.BoolLit:
+		return uniformVal()
+	case *clc.Ident:
+		a.usedArgs[e.Name] = true
+		a.reads[e.Name] = true
+		if v, ok := a.env[e.Name]; ok {
+			return v
+		}
+		return uniformVal() // builtin constants (CLK_*)
+	case *clc.UnaryExpr:
+		x := a.expr(e.X)
+		if e.Op == clc.MINUS {
+			return av{affine: x.affine, uniform: x.uniform, wiU: x.wiU,
+				idDep: x.idDep, loopDep: x.loopDep}
+		}
+		return av{affine: x.uniform, uniform: x.uniform, wiU: x.wiU,
+			idDep: x.idDep, loopDep: x.loopDep}
+	case *clc.BinaryExpr:
+		x := a.expr(e.X)
+		y := a.expr(e.Y)
+		return binOpVal(e.Op, x, y)
+	case *clc.CondExpr:
+		c := a.expr(e.Cond)
+		t := a.expr(e.Then)
+		f := a.expr(e.Else)
+		v := meet(t, f)
+		if c.idDep {
+			v = taint(v)
+		}
+		v.idDep = v.idDep || c.idDep
+		v.loopDep = v.loopDep || c.loopDep
+		v.uniform = v.uniform && c.uniform
+		v.wiU = v.wiU && c.wiU
+		v.gidExact = false
+		return v
+	case *clc.CallExpr:
+		return a.call(e)
+	case *clc.IndexExpr:
+		idx := a.expr(e.Idx)
+		a.recordAccess(e, idx, false, false, e.NodePos())
+		// Loaded content is arbitrary; it is id-dependent if the location
+		// read differs per work-item.
+		return av{idDep: idx.idDep, loopDep: idx.loopDep}
+	case *clc.CastExpr:
+		x := a.expr(e.X)
+		if e.To.Kind != clc.Int {
+			x.gidExact = false
+			x.affine = x.uniform
+		}
+		return x
+	}
+	return unknownVal()
+}
+
+func opOfCompound(op clc.Kind) clc.Kind {
+	switch op {
+	case clc.PLUSEQ:
+		return clc.PLUS
+	case clc.MINUSEQ:
+		return clc.MINUS
+	case clc.STAREQ:
+		return clc.STAR
+	case clc.SLASHEQ:
+		return clc.SLASH
+	}
+	return op
+}
+
+func binOpVal(op clc.Kind, x, y av) av {
+	v := av{
+		uniform: x.uniform && y.uniform,
+		wiU:     x.wiU && y.wiU,
+		idDep:   x.idDep || y.idDep,
+		loopDep: x.loopDep || y.loopDep,
+	}
+	switch op {
+	case clc.PLUS, clc.MINUS:
+		v.affine = x.affine && y.affine
+	case clc.STAR:
+		v.affine = (x.affine && y.uniform) || (x.uniform && y.affine)
+	default:
+		// Division, modulo, comparisons, logic: affine only if uniform.
+		v.affine = v.uniform
+	}
+	return v
+}
+
+func (a *analyzer) call(e *clc.CallExpr) av {
+	// Evaluate arguments (records accesses and reads).
+	args := make([]av, len(e.Args))
+	for i, arg := range e.Args {
+		args[i] = a.expr(arg)
+	}
+	switch e.Name {
+	case "barrier":
+		a.sum.Barriers = append(a.sum.Barriers, BarrierSite{Pos: e.Pos, Divergent: a.divergent()})
+		if a.divergent() {
+			a.diag(e.Pos, "barrier under control flow dependent on get_global_id/get_local_id: "+
+				"work-items of a group may disagree on reaching it (undefined behaviour; blocks work-group splitting)")
+		}
+		return av{}
+	case "get_global_id":
+		dim, isConst := constArg(e, 0)
+		return av{gidExact: isConst && dim == 0, affine: true, idDep: true}
+	case "get_local_id":
+		return av{idDep: true}
+	case "get_group_id":
+		return av{wiU: true}
+	case "get_num_groups", "get_local_size", "get_global_size",
+		"get_global_offset", "get_work_dim":
+		return uniformVal()
+	}
+	// Math builtins: uniform in, uniform out; any id-dependent input makes
+	// the result id-dependent. Never affine (non-linear).
+	v := uniformVal()
+	v.affine = false
+	for _, x := range args {
+		v.uniform = v.uniform && x.uniform
+		v.wiU = v.wiU && x.wiU
+		v.idDep = v.idDep || x.idDep
+		v.loopDep = v.loopDep || x.loopDep
+	}
+	v.affine = v.uniform
+	return v
+}
+
+func constArg(e *clc.CallExpr, i int) (int64, bool) {
+	if i >= len(e.Args) {
+		return 0, false
+	}
+	return clc.ConstEval(e.Args[i])
+}
+
+// ---- access recording and lints ----
+
+func (a *analyzer) recordAccess(e *clc.IndexExpr, idx av, write, alsoRead bool, pos clc.Pos) {
+	a.usedArgs[e.Base.Name] = true
+	cls := class(idx)
+
+	if ai, isArr := a.arrays[e.Base.Name]; isArr {
+		// Declared __local/__private array: constant bounds are checkable.
+		if v, ok := clc.ConstEval(e.Idx); ok && (v < 0 || v >= ai.length) {
+			a.diag(e.Idx.NodePos(), "index %d out of bounds for array %q of length %d",
+				v, e.Base.Name, ai.length)
+		}
+		if ai.local && write {
+			a.lintRace(e, idx, alsoRead, pos, "__local array")
+		}
+		return
+	}
+
+	i, isParam := a.argIdx[e.Base.Name]
+	if !isParam {
+		return
+	}
+	arg := &a.sum.Args[i]
+	if write {
+		slotOK := idx.gidExact && !idx.loopDep
+		if !arg.Written {
+			arg.SlotExact = slotOK
+		} else {
+			arg.SlotExact = arg.SlotExact && slotOK
+		}
+		arg.Written = true
+		arg.WriteIdx = mergeClass(arg.WriteIdx, cls)
+		a.lintRace(e, idx, alsoRead, pos, fmt.Sprintf("%s buffer", arg.Space))
+	}
+	if !write || alsoRead {
+		arg.Read = true
+		arg.ReadIdx = mergeClass(arg.ReadIdx, cls)
+	}
+}
+
+func (a *analyzer) lintRace(e *clc.IndexExpr, idx av, alsoRead bool, pos clc.Pos, what string) {
+	if !idx.wiU || a.divergent() {
+		return
+	}
+	kind := "write/write"
+	if alsoRead {
+		kind = "read/write and write/write"
+	}
+	a.sum.Races++
+	a.diag(pos, "inter-work-item %s race: every work-item of a group stores to %s %s[%s] at the same index",
+		kind, what, e.Base.Name, clc.ExprString(e.Idx))
+}
+
+func (a *analyzer) lintUnused() {
+	for _, p := range a.k.Params {
+		if !a.usedArgs[p.Name] {
+			a.diag(p.Pos, "kernel argument %q is never used", p.Name)
+		}
+	}
+	for _, name := range a.declared {
+		if !a.reads[name] {
+			a.diag(a.declPos[name], "value of %q is assigned but never read", name)
+		}
+	}
+}

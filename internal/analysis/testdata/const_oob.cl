@@ -1,0 +1,7 @@
+__kernel void oob(__global float* out)
+{
+    float acc[8];
+    acc[0] = 1.0f;
+    acc[9] = 2.0f;
+    out[get_global_id(0)] = acc[0];
+}

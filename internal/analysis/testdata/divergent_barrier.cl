@@ -1,0 +1,19 @@
+__kernel void divbar(__global float* x, __global float* y, int n)
+{
+    int i = get_global_id(0);
+    float v = x[i];
+    if (i < n) {
+        barrier(CLK_LOCAL_MEM_FENCE);
+        y[i] = v;
+    }
+}
+
+__kernel void okbar(__global float* x, __global float* y, int n)
+{
+    int i = get_global_id(0);
+    float v = x[i];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    if (i < n) {
+        y[i] = v;
+    }
+}

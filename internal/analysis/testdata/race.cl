@@ -1,0 +1,7 @@
+__kernel void racy(__global float* out, __global float* in, int n)
+{
+    int i = get_global_id(0);
+    out[0] = in[i];
+    out[n] += in[i];
+    out[i] = in[i];
+}

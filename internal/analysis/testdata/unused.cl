@@ -1,0 +1,6 @@
+__kernel void unused(__global float* out, __global float* never, int m)
+{
+    int i = get_global_id(0);
+    int dead = (i * 2);
+    out[i] = 1.0f;
+}

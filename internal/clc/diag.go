@@ -1,0 +1,52 @@
+package clc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Diag is the shared positioned diagnostic used across the front end, the
+// static analyzer and the transformation passes. It renders as
+// "file:line:col: message" (or "line:col: message" when File is empty), the
+// same shape as parser and sema errors, so every tool in the stack reports
+// source locations consistently.
+type Diag struct {
+	File string
+	Pos  Pos
+	Msg  string
+}
+
+func (d Diag) String() string {
+	if d.File == "" {
+		return fmt.Sprintf("%s: %s", d.Pos, d.Msg)
+	}
+	return fmt.Sprintf("%s:%s: %s", d.File, d.Pos, d.Msg)
+}
+
+func (d Diag) Error() string { return d.String() }
+
+// DiagList aggregates diagnostics into one error value so callers can
+// report every finding from a single run.
+type DiagList []Diag
+
+func (l DiagList) Error() string {
+	msgs := make([]string, len(l))
+	for i, d := range l {
+		msgs[i] = d.String()
+	}
+	return strings.Join(msgs, "\n")
+}
+
+// SortDiags orders diagnostics by file, then source position.
+func SortDiags(diags []Diag) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		if diags[i].File != diags[j].File {
+			return diags[i].File < diags[j].File
+		}
+		if diags[i].Pos.Line != diags[j].Pos.Line {
+			return diags[i].Pos.Line < diags[j].Pos.Line
+		}
+		return diags[i].Pos.Col < diags[j].Pos.Col
+	})
+}

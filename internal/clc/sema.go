@@ -1,7 +1,6 @@
 package clc
 
 import (
-	"fmt"
 	"strings"
 )
 
@@ -697,7 +696,11 @@ func FindKernelInfo(src, name string) (*KernelInfo, error) {
 	}
 	ki, ok := pi.Kernels[name]
 	if !ok {
-		return nil, fmt.Errorf("kernel %q not found", name)
+		pos := Pos{Line: 1, Col: 1}
+		if len(prog.Kernels) > 0 {
+			pos = prog.Kernels[0].Pos
+		}
+		return nil, errf(pos, "kernel %q not found in translation unit", name)
 	}
 	return ki, nil
 }

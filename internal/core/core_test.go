@@ -460,10 +460,15 @@ func TestTransformedSourcesExposed(t *testing.T) {
 			t.Fatalf("GPU source missing %q:\n%s", frag, prog.GPUSrc)
 		}
 	}
-	for _, frag := range []string{"fcl_lo", "fcl_hi", "fcl_fgid"} {
+	// scale writes out[] slot-exactly, so the analyzer lets TransformCPU
+	// drop the range-guard prologue; the lo/hi parameters stay in the ABI.
+	for _, frag := range []string{"fcl_lo", "fcl_hi"} {
 		if !contains(prog.CPUSrc, frag) {
 			t.Fatalf("CPU source missing %q:\n%s", frag, prog.CPUSrc)
 		}
+	}
+	if contains(prog.CPUSrc, "fcl_fgid") {
+		t.Fatalf("CPU source kept the range guard despite a slot-exact write-only summary:\n%s", prog.CPUSrc)
 	}
 }
 

@@ -1,0 +1,77 @@
+package core
+
+import "sync/atomic"
+
+// Counters tallies the transfer and merge work the runtime elided because
+// the static kernel analyzer (package analysis) proved it unnecessary. All
+// fields are updated atomically: the CPU scheduler thread and the enqueue
+// path both record elisions.
+type Counters struct {
+	// UploadsSkipped counts host-to-GPU refreshes of stale out buffers that
+	// were skipped because the kernel provably overwrites the whole buffer.
+	UploadsSkipped int64
+	// PrimeCopiesElided counts cpuCopy scratch primes skipped because the
+	// narrowed merge window is fully covered by shipped CPU data.
+	PrimeCopiesElided int64
+	// ShipBytesSkipped counts bytes NOT sent CPU-to-GPU because subkernel
+	// ships were narrowed to the slot range the subkernel wrote.
+	ShipBytesSkipped int64
+	// MergeWordsElided counts 4-byte words excluded from merge-kernel
+	// launches by the analyzer-narrowed merge window.
+	MergeWordsElided int64
+}
+
+// globalCounters accumulates across every Runtime in the process, so
+// harness tools can snapshot deltas around an experiment without plumbing
+// runtime handles through.
+var globalCounters Counters
+
+// CounterSnapshot returns the process-wide elision counters.
+func CounterSnapshot() Counters {
+	return Counters{
+		UploadsSkipped:    atomic.LoadInt64(&globalCounters.UploadsSkipped),
+		PrimeCopiesElided: atomic.LoadInt64(&globalCounters.PrimeCopiesElided),
+		ShipBytesSkipped:  atomic.LoadInt64(&globalCounters.ShipBytesSkipped),
+		MergeWordsElided:  atomic.LoadInt64(&globalCounters.MergeWordsElided),
+	}
+}
+
+// Sub returns c - o, for before/after snapshots around one experiment.
+func (c Counters) Sub(o Counters) Counters {
+	return Counters{
+		UploadsSkipped:    c.UploadsSkipped - o.UploadsSkipped,
+		PrimeCopiesElided: c.PrimeCopiesElided - o.PrimeCopiesElided,
+		ShipBytesSkipped:  c.ShipBytesSkipped - o.ShipBytesSkipped,
+		MergeWordsElided:  c.MergeWordsElided - o.MergeWordsElided,
+	}
+}
+
+// Counters returns this runtime's elision counters.
+func (r *Runtime) Counters() Counters {
+	return Counters{
+		UploadsSkipped:    atomic.LoadInt64(&r.ctr.UploadsSkipped),
+		PrimeCopiesElided: atomic.LoadInt64(&r.ctr.PrimeCopiesElided),
+		ShipBytesSkipped:  atomic.LoadInt64(&r.ctr.ShipBytesSkipped),
+		MergeWordsElided:  atomic.LoadInt64(&r.ctr.MergeWordsElided),
+	}
+}
+
+func (r *Runtime) countUploadSkipped() {
+	atomic.AddInt64(&r.ctr.UploadsSkipped, 1)
+	atomic.AddInt64(&globalCounters.UploadsSkipped, 1)
+}
+
+func (r *Runtime) countPrimeElided() {
+	atomic.AddInt64(&r.ctr.PrimeCopiesElided, 1)
+	atomic.AddInt64(&globalCounters.PrimeCopiesElided, 1)
+}
+
+func (r *Runtime) countShipBytesSkipped(n int64) {
+	atomic.AddInt64(&r.ctr.ShipBytesSkipped, n)
+	atomic.AddInt64(&globalCounters.ShipBytesSkipped, n)
+}
+
+func (r *Runtime) countMergeWordsElided(n int64) {
+	atomic.AddInt64(&r.ctr.MergeWordsElided, n)
+	atomic.AddInt64(&globalCounters.MergeWordsElided, n)
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"fluidicl/internal/device"
+	"fluidicl/internal/sim"
+	"fluidicl/internal/vm"
+)
+
+// TestUploadSkippedForFullOverwriteOut crafts the stale-output scenario:
+// kernel 1 completes entirely on the CPU (GPU crippled), leaving its out
+// buffer CPU-resident, then the same kernel runs again on the same buffer.
+// The second launch's upload of the stale GPU copy is dead — the summary
+// proves every byte is overwritten — so the runtime must skip it and still
+// produce the right answer.
+func TestUploadSkippedForFullOverwriteOut(t *testing.T) {
+	env := sim.NewEnv()
+	gpu := device.TeslaC2070()
+	gpu.KernelLaunchOverhead = 20e-3 // slow to start; CPU wins kernel 1
+	rt := MustNew(env, device.New(env, device.XeonW3550()), device.New(env, gpu), Options{})
+	prog, err := rt.BuildProgram(twoKernelSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1 := prog.MustKernel("k1")
+	n := 128
+	a := make([]float32, n)
+	for i := range a {
+		a[i] = 3
+	}
+	bufA, bufB := rt.CreateBuffer(4*n), rt.CreateBuffer(4*n)
+	var out []byte
+	env.Go("app", func(p *sim.Proc) {
+		rt.EnqueueWriteBuffer(p, bufA, f32buf(a...))
+		nd := vm.NewNDRange1D(n, 16)
+		for rep := 0; rep < 2; rep++ {
+			if err := rt.EnqueueNDRangeKernel(p, k1, nd, []Arg{BufArg(bufA), BufArg(bufB), IntArg(int64(n))}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		out = rt.EnqueueReadBuffer(p, bufB)
+	})
+	env.Run()
+	if err := rt.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if out == nil {
+		t.Fatal("app did not complete")
+	}
+	if !rt.Reports[0].CPUDidAll {
+		t.Skip("GPU unexpectedly won kernel 1; scenario not exercised")
+	}
+	for i := 0; i < n; i++ {
+		if got := f32at(out, i); got != 6 {
+			t.Fatalf("b[%d] = %v, want 6", i, got)
+		}
+	}
+	if c := rt.Counters(); c.UploadsSkipped == 0 {
+		t.Fatalf("stale full-overwrite out buffer was uploaded anyway: %+v", c)
+	}
+}

@@ -4,7 +4,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"math/bits"
 
+	"fluidicl/internal/clc"
 	"fluidicl/internal/ocl"
 	"fluidicl/internal/passes"
 	"fluidicl/internal/sim"
@@ -78,6 +80,115 @@ type schedOutcome struct {
 	variantUsed int
 	lastHD      *sim.Event
 	err         error
+	stats       vm.Stats // aggregate dynamic stats of all CPU subkernels
+}
+
+// elision is what the static kernel summary lets the runtime skip for one
+// buffer argument of one launch (indexed by original parameter position).
+type elision struct {
+	// slotExact: the argument is a write-only __global buffer whose every
+	// store is provably at the work-item's own flattened global id, in a 1-D
+	// launch. CPU subkernel ships narrow to the chunk's slot range, the
+	// cpuCopy scratch prime is skipped, and the merge window narrows to
+	// [loFinal*localSize, totalItems).
+	slotExact bool
+	// fullOverwrite: additionally, the launch has at least one work-item per
+	// buffer word, so the kernel overwrites the whole buffer and a stale
+	// GPU copy never needs refreshing before the launch.
+	fullOverwrite bool
+	// uploadSkipped: a stale-GPU-copy upload was actually elided for this
+	// launch, so the post-hoc cross-check must verify the dynamic writes
+	// covered the whole buffer.
+	uploadSkipped bool
+}
+
+// planElisions derives the per-argument elision plan for one launch from
+// the kernel's static summary. Every elision taken here is re-validated
+// against the VM's dynamic access stats when the launch completes
+// (crossCheck); a violation is a hard runtime error.
+func planElisions(k *Kernel, nd vm.NDRange, args []Arg) []elision {
+	el := make([]elision, len(args))
+	if k.Sum == nil || nd.Dims != 1 {
+		return el
+	}
+	items := nd.TotalGroups() * nd.WorkItemsPerGroup()
+	for i, param := range k.Info.Kernel.Params {
+		if !param.Ty.Ptr || args[i].Kind != ArgBuf || args[i].Buf == nil {
+			continue
+		}
+		sa := k.Sum.Arg(param.Name)
+		if sa == nil || sa.Space != clc.SpaceGlobal || !sa.WriteOnly() || !sa.SlotExact {
+			continue
+		}
+		el[i].slotExact = true
+		el[i].fullOverwrite = 4*items >= args[i].Buf.Size
+	}
+	return el
+}
+
+// crossCheck validates the VM's dynamic access stats for one completed
+// launch against the static summary the runtime's elisions relied on. Any
+// violation — a read or write of a parameter the analyzer called
+// untouched, a "slot-exact" store landing outside its work-group chunk, or
+// a "full-overwrite" kernel leaving buffer words unwritten after an upload
+// was skipped — is a hard error: it means results may be silently wrong,
+// so it must fail tests rather than pass unnoticed.
+func crossCheck(k *Kernel, nd vm.NDRange, args []Arg, el []elision, out *schedOutcome, gpuStats vm.Stats) error {
+	if k.Sum == nil {
+		return nil
+	}
+	var dyn vm.Stats
+	dyn.Add(out.stats)
+	dyn.Add(gpuStats)
+	origMask := ^uint64(0)
+	if n := len(k.Info.Kernel.Params); n < 64 {
+		origMask = (1 << uint(n)) - 1
+	}
+	if bad := dyn.ParamReadMask & origMask &^ k.chkRead; bad != 0 {
+		return fmt.Errorf("core: kernel %q: dynamic read of parameter %d outside the static access summary",
+			k.Name, bits.TrailingZeros64(bad))
+	}
+	if bad := dyn.ParamWriteMask & origMask &^ k.chkWrite; bad != 0 {
+		return fmt.Errorf("core: kernel %q: dynamic write of parameter %d outside the static access summary",
+			k.Name, bits.TrailingZeros64(bad))
+	}
+	ls := nd.WorkItemsPerGroup()
+	items := nd.TotalGroups() * ls
+	for i := range el {
+		if !el[i].slotExact || i >= len(vm.Stats{}.WrLo) {
+			continue
+		}
+		name := k.Info.Kernel.Params[i].Name
+		written := dyn.ParamWriteMask&(1<<uint(i)) != 0
+		if written && int(dyn.WrHi[i]) > 4*items {
+			return fmt.Errorf("core: kernel %q: slot-exact buffer %q written past its work-items' slots (byte %d > %d)",
+				k.Name, name, dyn.WrHi[i], 4*items)
+		}
+		// Every CPU store must stay inside the chunks the CPU was assigned:
+		// ship narrowing only forwarded those byte ranges to the merge.
+		if out.stats.ParamWriteMask&(1<<uint(i)) != 0 {
+			if cpuLo := 4 * ls * (nd.TotalGroups() - out.cpuWGs); int(out.stats.WrLo[i]) < cpuLo {
+				return fmt.Errorf("core: kernel %q: slot-exact buffer %q written below the CPU's chunk (byte %d < %d)",
+					k.Name, name, out.stats.WrLo[i], cpuLo)
+			}
+		}
+		if el[i].uploadSkipped {
+			// The stale-GPU-copy upload was elided on the promise that the
+			// kernel overwrites the whole buffer; verify the combined write
+			// range covered it (CPU-only when the CPU computed everything,
+			// since the result is then read from the CPU buffer alone).
+			cov := dyn
+			if out.didAll {
+				cov = out.stats
+			}
+			sz := args[i].Buf.Size
+			if cov.ParamWriteMask&(1<<uint(i)) == 0 || cov.WrLo[i] != 0 || int(cov.WrHi[i]) < sz {
+				return fmt.Errorf("core: kernel %q: upload of buffer %q was skipped but dynamic writes did not cover it",
+					k.Name, name)
+			}
+		}
+	}
+	return nil
 }
 
 // EnqueueNDRangeKernel executes the kernel cooperatively on both devices
@@ -97,8 +208,11 @@ func (r *Runtime) EnqueueNDRangeKernel(p *sim.Proc, k *Kernel, nd vm.NDRange, ar
 	r.Reports = append(r.Reports, rep)
 	r.tracef(kid, "enqueue kernel %s (%d work-groups)", k.Name, nd.TotalGroups())
 
-	// Classify buffer arguments using the compile-time access analysis.
+	// Classify buffer arguments using the compile-time access analysis and
+	// derive the analyzer-driven elision plan for this launch.
+	el := planElisions(k, nd, args)
 	var outBufs []*Buffer
+	var outEl []elision // per outBufs entry
 	var inputReady []*sim.Event
 	for i, param := range k.Info.Kernel.Params {
 		if !param.Ty.Ptr {
@@ -117,27 +231,46 @@ func (r *Runtime) EnqueueNDRangeKernel(p *sim.Proc, k *Kernel, nd vm.NDRange, ar
 		}
 		if acc.Written {
 			outBufs = append(outBufs, b)
+			outEl = append(outEl, el[i])
 		}
 		// GPU-side readiness: if the most recent data lives only on the
 		// CPU (previous kernel ran entirely there), upload it first. The
 		// write is ordered before the kernel by the in-order app queue.
+		// When the analyzer proved the kernel overwrites every word of the
+		// buffer, the stale GPU copy never becomes visible — both devices
+		// recompute their slots from unwritten inputs — and the upload is
+		// skipped (the merge compares CPU data against the same stale
+		// bytes the scratches were primed from, so untouched words keep
+		// whatever the GPU holds and touched words take a freshly computed
+		// value from one device or the other).
 		if !b.locGPU {
-			snap := append([]byte(nil), b.host...)
-			r.gpuApp.EnqueueWriteBuffer(b.gpuBuf, snap)
-			b.locGPU = true
-			b.gpuVersion = b.receivedVersion
+			if el[i].fullOverwrite {
+				el[i].uploadSkipped = true
+				r.countUploadSkipped()
+				r.tracef(kid, "upload of stale out buffer %q skipped (full-overwrite summary)", param.Name)
+			} else {
+				snap := append([]byte(nil), b.host...)
+				r.gpuApp.EnqueueWriteBuffer(b.gpuBuf, snap)
+				b.locGPU = true
+				b.gpuVersion = b.receivedVersion
+			}
 		}
 	}
 
 	// Scratch buffers for merging (§4.1, §6.1): per out buffer, a copy of
 	// the unmodified data and a landing area for CPU-computed data. Both
 	// start as copies of the current contents so unreceived regions compare
-	// equal in the diff step.
+	// equal in the diff step. For a slot-exact out buffer the cpuCopy prime
+	// is elided: the narrowed merge window reads only words the CPU ships.
 	scratches := make([]scratchPair, len(outBufs))
 	for i, b := range outBufs {
-		sc := scratchPair{buf: b, orig: r.pool.acquire(b.Size), cpuCopy: r.pool.acquire(b.Size)}
+		sc := scratchPair{buf: b, el: outEl[i], orig: r.pool.acquire(b.Size), cpuCopy: r.pool.acquire(b.Size)}
 		r.gpuApp.EnqueueCopyBuffer(b.gpuBuf, sc.orig)
-		r.gpuApp.EnqueueCopyBuffer(b.gpuBuf, sc.cpuCopy)
+		if sc.el.slotExact {
+			r.countPrimeElided()
+		} else {
+			r.gpuApp.EnqueueCopyBuffer(b.gpuBuf, sc.cpuCopy)
+		}
 		scratches[i] = sc
 	}
 
@@ -210,6 +343,9 @@ func (r *Runtime) EnqueueNDRangeKernel(p *sim.Proc, k *Kernel, nd vm.NDRange, ar
 		if gpuRes.Err != nil {
 			r.deferredErr = fmt.Errorf("core: GPU execution of %q: %w", k.Name, gpuRes.Err)
 		}
+		if err := crossCheck(k, nd, args, el, outcome, gpuRes.Stats); err != nil && r.deferredErr == nil {
+			r.deferredErr = err
+		}
 	})
 	if gpuDone.Fired() {
 		r.tracef(kid, "GPU kernel done (executed %d, skipped %d, aborted %d)",
@@ -255,19 +391,47 @@ func (r *Runtime) EnqueueNDRangeKernel(p *sim.Proc, k *Kernel, nd vm.NDRange, ar
 	} else {
 		r.tracef(kid, "merge skipped (no CPU data arrived)")
 	}
+	// loFinal is the lowest flattened work-group ID whose CPU data has been
+	// shipped; slot-exact buffers narrow their merge window to the word
+	// range those work-groups could have written.
+	loFinal := 0
+	if doMerge {
+		loFinal = slog.updates[0].doneFrom
+		for _, u := range slog.updates {
+			if u.doneFrom < loFinal {
+				loFinal = u.doneFrom
+			}
+		}
+	}
 	var mergeEvents []*sim.Event
 	dhCopies := make([]*ocl.Buffer, len(scratches))
 	for i, sc := range scratches {
 		if doMerge {
 			words := sc.buf.Size / 4
-			local := 64
-			global := ((words + local - 1) / local) * local
-			margs := []ocl.Arg{
-				ocl.BufArg(sc.cpuCopy), ocl.BufArg(sc.buf.gpuBuf), ocl.BufArg(sc.orig),
-				ocl.IntArg(int64(words)),
+			mergeLo, mergeHi := 0, words
+			if sc.el.slotExact {
+				// CPU subkernels covered [loFinal, total) and each work-item
+				// writes exactly its own word, so only words in
+				// [loFinal*localSize, totalItems) can differ from orig.
+				ls := nd.WorkItemsPerGroup()
+				if items := nd.TotalGroups() * ls; items < mergeHi {
+					mergeHi = items
+				}
+				if mergeLo = loFinal * ls; mergeLo > mergeHi {
+					mergeLo = mergeHi
+				}
+				r.countMergeWordsElided(int64(words - (mergeHi - mergeLo)))
 			}
-			ev, _ := r.gpuApp.EnqueueNDRangeKernel(r.mergeK, vm.NewNDRange1D(global, local), margs, ocl.LaunchOpts{})
-			mergeEvents = append(mergeEvents, ev)
+			if span := mergeHi - mergeLo; span > 0 {
+				local := 64
+				global := ((span + local - 1) / local) * local
+				margs := []ocl.Arg{
+					ocl.BufArg(sc.cpuCopy), ocl.BufArg(sc.buf.gpuBuf), ocl.BufArg(sc.orig),
+					ocl.IntArg(int64(mergeHi)), ocl.IntArg(int64(mergeLo)),
+				}
+				ev, _ := r.gpuApp.EnqueueNDRangeKernel(r.mergeK, vm.NewNDRange1D(global, local), margs, ocl.LaunchOpts{})
+				mergeEvents = append(mergeEvents, ev)
+			}
 		}
 		// Snapshot the merged result device-side so the device-to-host
 		// transfer can overlap the next kernel's writes to the same buffer
@@ -308,9 +472,11 @@ func (r *Runtime) EnqueueNDRangeKernel(p *sim.Proc, k *Kernel, nd vm.NDRange, ar
 }
 
 // scratchPair holds the per-out-buffer GPU scratch buffers used by the
-// merge step: the unmodified original and the CPU-data landing area.
+// merge step — the unmodified original and the CPU-data landing area —
+// plus the launch's elision plan for the buffer.
 type scratchPair struct {
 	buf     *Buffer
+	el      elision
 	orig    *ocl.Buffer
 	cpuCopy *ocl.Buffer
 }
@@ -416,13 +582,17 @@ func (r *Runtime) runCPUScheduler(sp *sim.Proc, k *Kernel, kid int, nd vm.NDRang
 		r.tracef(kid, "CPU subkernel launch: work-groups [%d, %d] (variant %d)", lo, hi, curVar)
 		t0 := sp.Now()
 		ev, res := r.cpuQ.EnqueueNDRangeKernel(k.cpu[curVar], ndSlice, cargs, ocl.LaunchOpts{
-			Split: !r.opts.NoWorkGroupSplit,
+			// Work-group splitting needs the analyzer's blessing on top of
+			// the user knob: a divergent barrier or a race finding makes
+			// splitting one group across threads unsafe.
+			Split: !r.opts.NoWorkGroupSplit && k.splitOK,
 		})
 		sp.Wait(ev)
 		if res.Err != nil {
 			out.err = res.Err
 			return
 		}
+		out.stats.Add(res.Stats)
 		nWGs := hi - lo + 1
 		dur := sp.Now() - t0
 		avg := dur / float64(nWGs)
@@ -452,7 +622,7 @@ func (r *Runtime) runCPUScheduler(sp *sim.Proc, k *Kernel, kid int, nd vm.NDRang
 		// let the next subkernel proceed while transfers are in flight
 		// (§5.5): the scheduler does not wait for any of this.
 		if !gpuDone.Fired() {
-			out.lastHD = r.shipToGPU(kid, lo, outBufs, scratches, slog)
+			out.lastHD = r.shipToGPU(kid, lo, hi, nd, outBufs, scratches, slog)
 		}
 
 		// Adaptive chunk sizing (§5.1): grow while time per work-group
@@ -475,23 +645,47 @@ func (r *Runtime) runCPUScheduler(sp *sim.Proc, k *Kernel, kid int, nd vm.NDRang
 // then enqueues the hd transfers, so the scheduler never blocks. The
 // returned event fires when the status message has landed at the GPU.
 //
+// A slot-exact buffer's ship is narrowed to the byte range the subkernel's
+// work-groups [lo, hi] could have written — [4*localSize*lo,
+// 4*localSize*(hi+1)) clamped to the buffer — since every work-item writes
+// exactly its own word; earlier (higher) chunks were shipped by earlier
+// subkernels. Other buffers ship in full, as before.
+//
 // Ordering across subkernels is preserved without extra synchronization:
 // staging reads serialize on the in-order CPU queue, so the helper for
 // subkernel N enqueues its hd transfers strictly before subkernel N+1's.
-func (r *Runtime) shipToGPU(kid, lo int, outBufs []*Buffer, scratches []scratchPair, slog *statusLog) *sim.Event {
+func (r *Runtime) shipToGPU(kid, lo, hi int, nd vm.NDRange, outBufs []*Buffer, scratches []scratchPair, slog *statusLog) *sim.Event {
 	type staged struct {
 		data []byte
+		off  int
 		ev   *sim.Event
 		dst  *ocl.Buffer
 	}
-	stages := make([]staged, len(outBufs))
+	var stages []staged
 	for i, b := range outBufs {
-		data := make([]byte, b.Size)
-		stages[i] = staged{
-			data: data,
-			ev:   r.cpuQ.EnqueueReadBuffer(b.cpuBuf, data),
-			dst:  scratches[i].cpuCopy,
+		off, end := 0, b.Size
+		if scratches[i].el.slotExact {
+			ls := nd.WorkItemsPerGroup()
+			off = 4 * ls * lo
+			end = 4 * ls * (hi + 1)
+			if end > b.Size {
+				end = b.Size
+			}
+			if off > end {
+				off = end
+			}
+			r.countShipBytesSkipped(int64(b.Size - (end - off)))
 		}
+		if end == off {
+			continue // every slot of this chunk lies past the buffer's end
+		}
+		data := make([]byte, end-off)
+		stages = append(stages, staged{
+			data: data,
+			off:  off,
+			ev:   r.cpuQ.EnqueueReadBufferAt(b.cpuBuf, off, data),
+			dst:  scratches[i].cpuCopy,
+		})
 	}
 	shipped := r.Env.NewEvent()
 	r.Env.Go(fmt.Sprintf("fcl-ship-k%d-lo%d", kid, lo), func(wp *sim.Proc) {
@@ -499,7 +693,7 @@ func (r *Runtime) shipToGPU(kid, lo int, outBufs []*Buffer, scratches []scratchP
 			wp.Wait(s.ev)
 		}
 		for _, s := range stages {
-			r.gpuHD.EnqueueWriteBuffer(s.dst, s.data)
+			r.gpuHD.EnqueueWriteBufferAt(s.dst, s.off, s.data)
 		}
 		st := encodeStatus(int32(kid), int32(lo))
 		stEv := r.gpuHD.EnqueueWriteBuffer(r.statusBuf, st)

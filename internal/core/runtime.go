@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"sync"
 
+	"fluidicl/internal/analysis"
 	"fluidicl/internal/clc"
 	"fluidicl/internal/device"
 	"fluidicl/internal/ocl"
@@ -108,9 +109,16 @@ type Runtime struct {
 	kernelSeq   int
 	deferredErr error // CPU-side failure noticed after a kernel call returned
 	trace       *Trace
+	ctr         Counters // analyzer-enabled elision counters (atomic)
 
 	Reports []*KernelReport
 }
+
+// Err returns any deferred error noticed after a kernel call returned: a
+// late CPU/GPU-side failure, or a dynamic access that violated the static
+// kernel summary an elision relied on. Callers should check it after the
+// final kernel completes.
+func (r *Runtime) Err() error { return r.deferredErr }
 
 // New creates a FluidiCL runtime over the given devices.
 func New(env *sim.Env, cpuDev, gpuDev *device.Device, opts Options) (*Runtime, error) {
@@ -239,7 +247,8 @@ func (r *Runtime) Finish(p *sim.Proc) {
 type Program struct {
 	rt      *Runtime
 	Source  string
-	info    *clc.ProgramInfo // analysis of the original source
+	info    *clc.ProgramInfo         // analysis of the original source
+	Summary *analysis.ProgramSummary // static kernel analyzer results
 	gpuProg *ocl.Program
 	cpuProg *ocl.Program
 	GPUSrc  string // transformed GPU source (for inspection)
@@ -248,9 +257,10 @@ type Program struct {
 
 // transformEntry is one cached run of the twin transformation pipelines:
 // the original-source analysis plus the transformed GPU and CPU sources.
-// All three are immutable once built.
+// All fields are immutable once built.
 type transformEntry struct {
 	info   *clc.ProgramInfo
+	sum    *analysis.ProgramSummary
 	gpuSrc string
 	cpuSrc string
 }
@@ -285,6 +295,7 @@ func transformProgram(src string, gopt passes.GPUOptions) (*transformEntry, erro
 	if err != nil {
 		return nil, err
 	}
+	sum := analysis.AnalyzeProgram(orig, "")
 
 	gpuAST, err := clc.Parse(src)
 	if err != nil {
@@ -301,12 +312,12 @@ func transformProgram(src string, gopt passes.GPUOptions) (*transformEntry, erro
 		return nil, err
 	}
 	for _, k := range cpuAST.Kernels {
-		if err := passes.TransformCPU(k); err != nil {
+		if err := passes.TransformCPUWithSummary(k, sum.Kernels[k.Name]); err != nil {
 			return nil, err
 		}
 	}
 
-	e := &transformEntry{info: info, gpuSrc: clc.Print(gpuAST), cpuSrc: clc.Print(cpuAST)}
+	e := &transformEntry{info: info, sum: sum, gpuSrc: clc.Print(gpuAST), cpuSrc: clc.Print(cpuAST)}
 	if transformCache.m == nil {
 		transformCache.m = map[transformKey]*transformEntry{}
 	}
@@ -338,7 +349,7 @@ func (r *Runtime) BuildProgram(src string) (*Program, error) {
 	}
 
 	return &Program{
-		rt: r, Source: src, info: e.info,
+		rt: r, Source: src, info: e.info, Summary: e.sum,
 		gpuProg: gpuProg, cpuProg: cpuProg,
 		GPUSrc: e.gpuSrc, CPUSrc: e.cpuSrc,
 	}, nil
@@ -349,9 +360,20 @@ func (r *Runtime) BuildProgram(src string) (*Program, error) {
 type Kernel struct {
 	prog *Program
 	Name string
-	Info *clc.KernelInfo // original-source analysis (out/inout params)
+	Info *clc.KernelInfo         // original-source analysis (out/inout params)
+	Sum  *analysis.KernelSummary // static analyzer summary of the original
 	gpu  *ocl.Kernel
 	cpu  []*ocl.Kernel // variant 0 is the original kernel
+
+	// splitOK gates CPU work-group splitting on analyzer facts (no divergent
+	// barriers, no inter-work-item race findings) on top of the syntactic
+	// no-barrier / no-__local rule.
+	splitOK bool
+	// chkRead / chkWrite are per-original-parameter access masks (bit i =
+	// parameter i may be read / written) unioned over the original kernel's
+	// summary and every registered CPU variant's summary. The VM's dynamic
+	// access masks are validated against them after each execution.
+	chkRead, chkWrite uint64
 
 	profiled   bool
 	bestCPUVar int
@@ -371,7 +393,36 @@ func (p *Program) CreateKernel(name string) (*Kernel, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Kernel{prog: p, Name: name, Info: info, gpu: gk, cpu: []*ocl.Kernel{ck}}, nil
+	sum := p.Summary.Kernels[name]
+	k := &Kernel{
+		prog: p, Name: name, Info: info, Sum: sum,
+		gpu: gk, cpu: []*ocl.Kernel{ck},
+		splitOK: passes.CanSplitWithSummary(info, sum),
+	}
+	k.chkRead, k.chkWrite = accessMasks(sum)
+	return k, nil
+}
+
+// accessMasks flattens a kernel summary's per-argument access facts to
+// bitmasks over parameter indices (parameters past bit 63 are not tracked,
+// matching vm.Stats).
+func accessMasks(ks *analysis.KernelSummary) (read, write uint64) {
+	if ks == nil {
+		return 0, 0
+	}
+	for i := range ks.Args {
+		a := &ks.Args[i]
+		if a.Index >= 64 {
+			continue
+		}
+		if a.Read {
+			read |= 1 << uint(a.Index)
+		}
+		if a.Written {
+			write |= 1 << uint(a.Index)
+		}
+	}
+	return read, write
 }
 
 // MustKernel is CreateKernel for known-good names.
@@ -404,7 +455,15 @@ func (k *Kernel) AddCPUVariant(src, name string) error {
 		return err
 	}
 	vk := ast.Kernel(name)
-	if err := passes.TransformCPU(vk); err != nil {
+	// The variant gets its own analysis: its guard-drop eligibility depends
+	// on its own stores, and the dynamic access cross-check must accept any
+	// access either implementation can perform.
+	vsum := analysis.AnalyzeKernel(vk, "")
+	vr, vw := accessMasks(vsum)
+	k.chkRead |= vr
+	k.chkWrite |= vw
+	k.splitOK = k.splitOK && passes.CanSplitWithSummary(vinfo, vsum)
+	if err := passes.TransformCPUWithSummary(vk, vsum); err != nil {
 		return err
 	}
 	prog, err := k.prog.rt.cpu.BuildProgram(clc.Print(ast))

@@ -202,6 +202,21 @@ func (q *CommandQueue) EnqueueWriteBuffer(b *Buffer, src []byte) *sim.Event {
 	return t.Done
 }
 
+// EnqueueWriteBufferAt copies host bytes into the device buffer starting at
+// byte offset off (clEnqueueWriteBuffer with a non-zero offset). FluidiCL
+// uses it to ship only the byte range a CPU subkernel provably wrote.
+func (q *CommandQueue) EnqueueWriteBufferAt(b *Buffer, off int, src []byte) *sim.Event {
+	if off < 0 || off+len(src) > b.Size {
+		panic(fmt.Sprintf("ocl: write of %d bytes at offset %d into %d-byte buffer", len(src), off, b.Size))
+	}
+	t := &device.Transfer{
+		Bytes: len(src),
+		Apply: func() { copy(b.data[off:], src) },
+	}
+	q.q.Enqueue(t)
+	return t.Done
+}
+
 // EnqueueReadBuffer copies the device buffer into host bytes
 // (clEnqueueReadBuffer). dst is written at transfer-completion time.
 func (q *CommandQueue) EnqueueReadBuffer(b *Buffer, dst []byte) *sim.Event {
@@ -211,6 +226,20 @@ func (q *CommandQueue) EnqueueReadBuffer(b *Buffer, dst []byte) *sim.Event {
 	t := &device.Transfer{
 		Bytes: len(dst),
 		Apply: func() { copy(dst, b.data[:len(dst)]) },
+	}
+	q.q.Enqueue(t)
+	return t.Done
+}
+
+// EnqueueReadBufferAt copies the device buffer's byte range [off, off+len(dst))
+// into host bytes (clEnqueueReadBuffer with a non-zero offset).
+func (q *CommandQueue) EnqueueReadBufferAt(b *Buffer, off int, dst []byte) *sim.Event {
+	if off < 0 || off+len(dst) > b.Size {
+		panic(fmt.Sprintf("ocl: read of %d bytes at offset %d from %d-byte buffer", len(dst), off, b.Size))
+	}
+	t := &device.Transfer{
+		Bytes: len(dst),
+		Apply: func() { copy(dst, b.data[off:off+len(dst)]) },
 	}
 	q.q.Enqueue(t)
 	return t.Done

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"strings"
 
+	"fluidicl/internal/analysis"
 	"fluidicl/internal/clc"
 )
 
@@ -88,7 +89,17 @@ if (fcl_status[0] == fcl_kid && fcl_fgid >= fcl_status[1]) { return; }
 // TransformCPU mutates k into its FluidiCL CPU subkernel form: work-groups
 // whose flattened ID falls outside [fcl_lo, fcl_hi] return immediately.
 // The caller must re-run clc.Check before compiling.
-func TransformCPU(k *clc.Kernel) error {
+func TransformCPU(k *clc.Kernel) error { return TransformCPUWithSummary(k, nil) }
+
+// TransformCPUWithSummary is TransformCPU informed by the static analyzer:
+// when the summary proves the kernel idempotent under re-execution of any
+// work-item subset (every written buffer is write-only with slot-exact
+// stores), the range guard is redundant — work-groups outside [fcl_lo,
+// fcl_hi] that a rectangular NDRange slice over-covers simply recompute
+// their own output words from unwritten inputs — and is dropped, saving the
+// guard and flattened-ID computation on every CPU work-item. The fcl_lo /
+// fcl_hi parameters are always appended so the launch ABI is uniform.
+func TransformCPUWithSummary(k *clc.Kernel, ks *analysis.KernelSummary) error {
 	if err := checkNamespace(k); err != nil {
 		return err
 	}
@@ -96,11 +107,23 @@ func TransformCPU(k *clc.Kernel) error {
 		&clc.Param{Name: ParamLo, Ty: clc.ScalarType(clc.Int)},
 		&clc.Param{Name: ParamHi, Ty: clc.ScalarType(clc.Int)},
 	)
+	if CanDropRangeGuard(ks) {
+		return nil
+	}
 	prologue := mustStmts(flatIDDecl() + `
 if (fcl_fgid < fcl_lo || fcl_fgid > fcl_hi) { return; }
 `)
 	k.Body.Stmts = append(prologue, k.Body.Stmts...)
 	return nil
+}
+
+// CanDropRangeGuard reports whether the analyzer proved the subkernel range
+// guard redundant: all output buffers are write-only __global arguments
+// with slot-exact stores (work-item i writes exactly word i), no barriers,
+// and no race findings, so extra work-items recompute identical values.
+func CanDropRangeGuard(ks *analysis.KernelSummary) bool {
+	return ks != nil && ks.WritesSlotExactOnly() &&
+		len(ks.Barriers) == 0 && ks.Races == 0
 }
 
 // flatIDDecl is the paper's flattened work-group ID computation (Fig. 5)
@@ -118,15 +141,52 @@ func abortCheckStmt() clc.Stmt {
 	return mustStmts(`if (fcl_status[0] == fcl_kid && fcl_fgid >= fcl_status[1]) { return; }`)[0]
 }
 
-// checkNamespace rejects kernels that already use fcl_-prefixed parameter
-// names (they would collide with injected parameters).
+// checkNamespace rejects kernels that already use fcl_-prefixed names (they
+// would collide with injected parameters and variables). All collisions —
+// parameters and body declarations — are reported together in one error,
+// each with its source position, so one run shows the complete list.
 func checkNamespace(k *clc.Kernel) error {
+	var diags clc.DiagList
 	for _, p := range k.Params {
 		if strings.HasPrefix(p.Name, "fcl_") {
-			return fmt.Errorf("passes: kernel %q: parameter %q collides with the reserved fcl_ namespace", k.Name, p.Name)
+			diags = append(diags, clc.Diag{Pos: p.Pos, Msg: fmt.Sprintf(
+				"kernel %q: parameter %q collides with the reserved fcl_ namespace", k.Name, p.Name)})
 		}
 	}
+	collectDecls(k.Body, func(d *clc.DeclStmt) {
+		if strings.HasPrefix(d.Name, "fcl_") {
+			diags = append(diags, clc.Diag{Pos: d.Pos, Msg: fmt.Sprintf(
+				"kernel %q: variable %q collides with the reserved fcl_ namespace", k.Name, d.Name)})
+		}
+	})
+	if len(diags) > 0 {
+		return diags
+	}
 	return nil
+}
+
+// collectDecls calls fn for every declaration statement in the subtree.
+func collectDecls(s clc.Stmt, fn func(*clc.DeclStmt)) {
+	switch s := s.(type) {
+	case *clc.Block:
+		for _, st := range s.Stmts {
+			collectDecls(st, fn)
+		}
+	case *clc.DeclStmt:
+		fn(s)
+	case *clc.IfStmt:
+		collectDecls(s.Then, fn)
+		if s.Else != nil {
+			collectDecls(s.Else, fn)
+		}
+	case *clc.ForStmt:
+		if s.Init != nil {
+			collectDecls(s.Init, fn)
+		}
+		collectDecls(s.Body, fn)
+	case *clc.WhileStmt:
+		collectDecls(s.Body, fn)
+	}
 }
 
 // mustStmts parses a statement sequence by wrapping it in a dummy kernel.
@@ -281,12 +341,15 @@ func hasLoopEscape(s clc.Stmt) bool {
 // MergeKernelSource is the FluidiCL data-merge kernel (paper Fig. 9) at
 // 4-byte word granularity: every buffer element type in MiniCL is one
 // 32-bit word, so word-wise comparison is exact. Comparing words as ints
-// sidesteps NaN != NaN.
+// sidesteps NaN != NaN. The fcl_lo parameter offsets the merged window so
+// the runtime can launch a narrowed merge over only the word range the CPU
+// could have written (analyzer-proved slot-exact buffers); a full merge
+// passes fcl_lo = 0.
 const MergeKernelSource = `
 __kernel void fcl_merge(__global int* fcl_cpu, __global int* fcl_gpu,
-                        __global int* fcl_orig, int fcl_nwords)
+                        __global int* fcl_orig, int fcl_nwords, int fcl_lo)
 {
-    int i = get_global_id(0);
+    int i = get_global_id(0) + fcl_lo;
     if (i < fcl_nwords && fcl_cpu[i] != fcl_orig[i]) {
         fcl_gpu[i] = fcl_cpu[i];
     }
@@ -301,4 +364,20 @@ const MergeKernelName = "fcl_merge"
 // legal when work-items cannot communicate (no barriers, no __local data).
 func CanSplit(ki *clc.KernelInfo) bool {
 	return !ki.HasBarrier && len(ki.LocalArrays) == 0
+}
+
+// CanSplitWithSummary refines CanSplit with analyzer facts: splitting is
+// additionally refused when the analyzer found a barrier under divergent
+// control flow (work-items of one group would deadlock or desynchronize if
+// executed on different threads) or any inter-work-item race finding
+// (splitting changes the interleaving the racy kernel happens to rely on).
+// A nil summary falls back to the syntactic CanSplit rule.
+func CanSplitWithSummary(ki *clc.KernelInfo, ks *analysis.KernelSummary) bool {
+	if !CanSplit(ki) {
+		return false
+	}
+	if ks == nil {
+		return true
+	}
+	return !ks.HasDivergentBarrier() && ks.Races == 0
 }

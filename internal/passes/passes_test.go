@@ -342,7 +342,7 @@ func TestMergeKernel(t *testing.T) {
 	orig := f32buf(1, 2, 3, 4)
 	cpu := f32buf(1, 2, 30, 40)
 	gpu := f32buf(10, 20, 3, 4)
-	args := []vm.Arg{vm.BufArg(cpu), vm.BufArg(gpu), vm.BufArg(orig), vm.IntArg(4)}
+	args := []vm.Arg{vm.BufArg(cpu), vm.BufArg(gpu), vm.BufArg(orig), vm.IntArg(4), vm.IntArg(0)}
 	if _, err := mk.ExecLaunch(vm.NewNDRange1D(4, 4), args, vm.ExecOpts{}); err != nil {
 		t.Fatal(err)
 	}
@@ -360,7 +360,7 @@ func TestMergeKernelHandlesNaN(t *testing.T) {
 	orig := f32buf(nan, 1)
 	cpu := f32buf(nan, 5) // element 0 unchanged (still NaN), element 1 computed
 	gpu := f32buf(nan, 1)
-	args := []vm.Arg{vm.BufArg(cpu), vm.BufArg(gpu), vm.BufArg(orig), vm.IntArg(2)}
+	args := []vm.Arg{vm.BufArg(cpu), vm.BufArg(gpu), vm.BufArg(orig), vm.IntArg(2), vm.IntArg(0)}
 	if _, err := mk.ExecLaunch(vm.NewNDRange1D(2, 2), args, vm.ExecOpts{}); err != nil {
 		t.Fatal(err)
 	}

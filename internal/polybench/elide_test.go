@@ -1,0 +1,56 @@
+package polybench
+
+import (
+	"testing"
+
+	"fluidicl/internal/core"
+	"fluidicl/internal/device"
+	"fluidicl/internal/sched"
+)
+
+// TestFluidiCLElisionsBicg pins a machine/size combination where the
+// analyzer's slot-exact write-only classification of BICG's q and s
+// provably pays off: both diff-baseline copies are elided, the CPU's
+// result shipments are narrowed to the completed work-groups' slots, and
+// the data merge runs over a sub-range of each buffer — all with the
+// output still verifying against the sequential reference.
+func TestFluidiCLElisionsBicg(t *testing.T) {
+	m := sched.Machine{CPU: device.XeonDual(), GPU: device.TeslaC2070()}
+	b := Bicg(128)
+	r, err := sched.RunFluidiCL(m, b.App, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Verify(r.Outputs); err != nil {
+		t.Fatalf("elided run produced wrong output: %v", err)
+	}
+	c := r.Counters
+	if c.PrimeCopiesElided != 2 {
+		t.Errorf("PrimeCopiesElided = %d, want 2 (q and s)", c.PrimeCopiesElided)
+	}
+	if c.ShipBytesSkipped == 0 {
+		t.Error("no ship bytes skipped: CPU result transfers were not narrowed")
+	}
+	if c.MergeWordsElided == 0 {
+		t.Error("no merge words elided: merge ran over the full buffers")
+	}
+}
+
+// TestFluidiCLCountersZeroWithoutSlotExactOuts checks the negative space:
+// SYRK's C argument is read-write (C[i*n+j] = beta*C[..] + ...), so none
+// of the summary-driven elisions may fire, and the conservative diff+merge
+// pipeline still verifies.
+func TestFluidiCLCountersZeroWithoutSlotExactOuts(t *testing.T) {
+	m := sched.DefaultMachine()
+	b := Syrk(48, 48)
+	r, err := sched.RunFluidiCL(m, b.App, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Verify(r.Outputs); err != nil {
+		t.Fatal(err)
+	}
+	if c := r.Counters; c != (core.Counters{}) {
+		t.Errorf("read-write out buffer must not trigger elisions: %+v", c)
+	}
+}

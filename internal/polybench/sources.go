@@ -1,0 +1,28 @@
+package polybench
+
+// NamedSource is one MiniCL translation unit with a display name, for tools
+// (fluidilint, the analyzer's golden tests) that sweep every shipped kernel
+// source.
+type NamedSource struct {
+	Name string
+	Src  string
+}
+
+// Sources returns every kernel source the suite ships: the paper's six
+// benchmarks, the extras, and the hand-optimized CPU variant of CORR's
+// correlation kernel.
+func Sources() []NamedSource {
+	return []NamedSource{
+		{"2MM", twommSrc},
+		{"BICG", bicgSrc},
+		{"CORR", corrSrc},
+		{"CORR-cpu-variant", CorrCPUVariantSrc},
+		{"GESUMMV", gesummvSrc},
+		{"SYRK", syrkSrc},
+		{"SYR2K", syr2kSrc},
+		{"ATAX", ataxSrc},
+		{"MVT", mvtSrc},
+		{"GEMM", gemmSrc},
+		{"2DCONV", twoDConvSrc},
+	}
+}

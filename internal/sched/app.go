@@ -80,6 +80,9 @@ type Result struct {
 	// only; used for Table 1 and dmda calibration).
 	LaunchTimes []sim.Time
 	Reports     []*core.KernelReport // FluidiCL runs only
+	// Counters reports the transfer/merge work the FluidiCL runtime elided
+	// based on static kernel summaries (FluidiCL runs only).
+	Counters core.Counters
 }
 
 // Machine bundles the device models for a run.
@@ -179,9 +182,15 @@ func RunFluidiCLRepeat(m Machine, app *App, opts core.Options, times int) (*Resu
 	if runErr != nil {
 		return nil, runErr
 	}
+	if err := rt.Err(); err != nil {
+		// Deferred failures include dynamic accesses that violated the
+		// static summary an elision relied on — results are suspect.
+		return nil, err
+	}
 	if res.Time == 0 && len(app.Launches) > 0 {
 		return nil, fmt.Errorf("sched: FluidiCL run of %s did not complete", app.Name)
 	}
 	res.Reports = rt.Reports
+	res.Counters = rt.Counters()
 	return res, nil
 }

@@ -161,7 +161,7 @@ func RunStatic(m Machine, app *App, gpuPct int) (*Result, error) {
 				local := 64
 				global := ((words + local - 1) / local) * local
 				ev, mr := gpuQ.EnqueueNDRangeKernel(mergeK, vm.NewNDRange1D(global, local),
-					[]ocl.Arg{ocl.BufArg(s.cpuCopy), ocl.BufArg(s.b.gpu), ocl.BufArg(s.orig), ocl.IntArg(int64(words))},
+					[]ocl.Arg{ocl.BufArg(s.cpuCopy), ocl.BufArg(s.b.gpu), ocl.BufArg(s.orig), ocl.IntArg(int64(words)), ocl.IntArg(0)},
 					ocl.LaunchOpts{})
 				p.Wait(ev)
 				if mr.Err != nil {

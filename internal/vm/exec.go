@@ -426,6 +426,7 @@ func (k *Kernel) run(w *wiState, nd NDRange, group, lid [3]int, wi int,
 				}
 			}
 			fregs[in.A] = float64(math.Float32frombits(bits))
+			st.noteGlobalRead(in.B)
 			st.GlobalLoads++
 			st.GlobalLoadBytes += 4
 			tr.access(in.D, off, firstInWarp, st)
@@ -443,6 +444,7 @@ func (k *Kernel) run(w *wiState, nd NDRange, group, lid [3]int, wi int,
 				}
 			}
 			iregs[in.A] = int64(int32(bits))
+			st.noteGlobalRead(in.B)
 			st.GlobalLoads++
 			st.GlobalLoadBytes += 4
 			tr.access(in.D, off, firstInWarp, st)
@@ -463,6 +465,7 @@ func (k *Kernel) run(w *wiState, nd NDRange, group, lid [3]int, wi int,
 				}
 				binary.LittleEndian.PutUint32(buf[off:], bits)
 			}
+			st.noteGlobalWrite(in.B, off)
 			st.GlobalStores++
 			st.GlobalStoreBytes += 4
 			tr.access(in.D, off, firstInWarp, st)
@@ -483,6 +486,7 @@ func (k *Kernel) run(w *wiState, nd NDRange, group, lid [3]int, wi int,
 				}
 				binary.LittleEndian.PutUint32(buf[off:], bits)
 			}
+			st.noteGlobalWrite(in.B, off)
 			st.GlobalStores++
 			st.GlobalStoreBytes += 4
 			tr.access(in.D, off, firstInWarp, st)

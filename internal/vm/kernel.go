@@ -326,6 +326,41 @@ type Stats struct {
 	// previous access by the same work-item is sequential.
 	SeqBytes  int64
 	RandBytes int64
+
+	// ParamReadMask/ParamWriteMask record which pointer parameters the
+	// executed work-items dynamically loaded from / stored to (bit i =
+	// parameter slot i). WrLo/WrHi bound the written byte offsets per slot,
+	// valid only while the matching write bit is set. The runtime
+	// cross-checks these against the static analyzer's summaries: a dynamic
+	// access outside the static summary is a hard failure.
+	ParamReadMask  uint64
+	ParamWriteMask uint64
+	WrLo, WrHi     [16]int32
+}
+
+// noteGlobalRead records a dynamic load from parameter slot.
+func (s *Stats) noteGlobalRead(slot int32) {
+	if slot < 64 {
+		s.ParamReadMask |= 1 << uint(slot)
+	}
+}
+
+// noteGlobalWrite records a dynamic store of the 4 bytes at off to
+// parameter slot.
+func (s *Stats) noteGlobalWrite(slot, off int32) {
+	if slot >= 64 {
+		return
+	}
+	bit := uint64(1) << uint(slot)
+	if int(slot) < len(s.WrLo) {
+		if s.ParamWriteMask&bit == 0 || off < s.WrLo[slot] {
+			s.WrLo[slot] = off
+		}
+		if s.ParamWriteMask&bit == 0 || off+4 > s.WrHi[slot] {
+			s.WrHi[slot] = off + 4
+		}
+	}
+	s.ParamWriteMask |= bit
 }
 
 // Add accumulates other into s.
@@ -345,6 +380,20 @@ func (s *Stats) Add(o Stats) {
 	s.WarpTransactions += o.WarpTransactions
 	s.SeqBytes += o.SeqBytes
 	s.RandBytes += o.RandBytes
+	s.ParamReadMask |= o.ParamReadMask
+	for i := 0; i < len(o.WrLo); i++ {
+		bit := uint64(1) << uint(i)
+		if o.ParamWriteMask&bit == 0 {
+			continue
+		}
+		if s.ParamWriteMask&bit == 0 || o.WrLo[i] < s.WrLo[i] {
+			s.WrLo[i] = o.WrLo[i]
+		}
+		if s.ParamWriteMask&bit == 0 || o.WrHi[i] > s.WrHi[i] {
+			s.WrHi[i] = o.WrHi[i]
+		}
+	}
+	s.ParamWriteMask |= o.ParamWriteMask
 }
 
 // UndoRecord is one overwritten global-memory word.

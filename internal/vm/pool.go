@@ -293,7 +293,7 @@ type LaunchEngine struct {
 	waveHi    int
 	snapEpoch uint64
 	stale     bool
-	committed []argSpan      // mutation envelopes since the wave snapshot
+	committed []argSpan       // mutation envelopes since the wave snapshot
 	argOf     map[*byte]int32 // buffer identity -> argument index
 }
 

@@ -1,10 +1,24 @@
 #!/bin/sh
-# CI gate: build, vet, race-clean tests (includes the determinism regression
-# tests), plus a one-iteration benchmark smoke. Mirrors `make check` for
-# environments without make.
+# CI gate: formatting, build, vet, race-clean tests (includes the
+# determinism regression tests), kernel lint, plus a one-iteration
+# benchmark smoke. Mirrors `make check` for environments without make.
 set -eux
+
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+    echo "gofmt: needs formatting:" >&2
+    echo "$fmt" >&2
+    exit 1
+fi
 
 go build ./...
 go vet ./...
-go test -race ./...
+# The harness package replays every experiment; under the race detector it
+# far exceeds go test's default 600s per-package timeout.
+go test -race -timeout 1800s ./...
+
+# Lint every shipped kernel: the built-in Polybench set, the injected merge
+# kernel, and the example kernels on disk.
+go run ./cmd/fluidilint -builtin examples/quickstart/kernel.cl
+
 go test -bench 'BenchmarkOverall' -benchtime=1x -run '^$' .
