@@ -1,0 +1,90 @@
+// Command benchgate compares a fresh `fluidibench -jsonout` run against a
+// committed baseline and fails when any experiment's wall clock regressed
+// past a tolerance. scripts/bench_gate.sh wires it into `make bench-gate`
+// and the non-blocking CI job.
+//
+// Only wall_seconds is compared: it is the one host-time (noisy) field, and
+// the gate exists to catch performance regressions in the simulator itself.
+// The virtual-time fields in the JSON are deterministic and are regression-
+// tested by the golden trace and determinism tests instead.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type entry struct {
+	ID          string  `json:"id"`
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+func load(path string) (map[string]float64, []string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var entries []entry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := map[string]float64{}
+	var order []string
+	for _, e := range entries {
+		m[e.ID] = e.WallSeconds
+		order = append(order, e.ID)
+	}
+	return m, order, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_01.json", "committed baseline JSON")
+	current := flag.String("current", "", "fresh fluidibench -jsonout JSON")
+	tolPct := flag.Float64("tol", 25, "allowed wall-clock regression, percent")
+	minSec := flag.Float64("min", 0.05, "ignore experiments faster than this baseline wall clock (too noisy to gate)")
+	flag.Parse()
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
+		os.Exit(2)
+	}
+	base, order, err := load(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	cur, _, err := load(*current)
+	if err != nil {
+		fatal(err)
+	}
+	regressions := 0
+	for _, id := range order {
+		b := base[id]
+		c, ok := cur[id]
+		if !ok {
+			fmt.Printf("benchgate: %-12s missing from current run\n", id)
+			regressions++
+			continue
+		}
+		switch {
+		case b < *minSec:
+			fmt.Printf("benchgate: %-12s %8.3fs -> %8.3fs (below %.2fs floor, not gated)\n", id, b, c, *minSec)
+		case c > b*(1+*tolPct/100):
+			fmt.Printf("benchgate: %-12s %8.3fs -> %8.3fs  REGRESSION (+%.0f%%, tolerance %.0f%%)\n",
+				id, b, c, (c/b-1)*100, *tolPct)
+			regressions++
+		default:
+			fmt.Printf("benchgate: %-12s %8.3fs -> %8.3fs (%+.0f%%)\n", id, b, c, (c/b-1)*100)
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d experiment(s) regressed past %.0f%% tolerance\n", regressions, *tolPct)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: all %d experiments within %.0f%% of baseline\n", len(order), *tolPct)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"fluidicl/internal/core"
@@ -26,6 +28,7 @@ import (
 	"fluidicl/internal/polybench"
 	"fluidicl/internal/sched"
 	"fluidicl/internal/sim"
+	"fluidicl/internal/trace"
 	"fluidicl/internal/vm"
 )
 
@@ -35,15 +38,33 @@ func main() {
 	workers := flag.Int("workers", 0, "host threads per kernel launch for work-group execution (0 = GOMAXPROCS)")
 	parallel := flag.Int("parallel", 0, "concurrent experiment table cells (0 = GOMAXPROCS)")
 	jsonOut := flag.String("jsonout", "", "write per-table wall-clock times as JSON to this file")
+	traceOut := flag.String("trace", "", "run one benchmark under FluidiCL and write a Chrome trace_event JSON file here")
+	dist := flag.Bool("dist", false, "print the per-benchmark CPU/GPU work-distribution table (paper §5.5)")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
+
+	vm.SetWorkers(*workers)
+
+	if *traceOut != "" {
+		if len(args) != 1 {
+			fatal(fmt.Errorf("usage: fluidibench -trace out.json [-quick] <benchmark>"))
+		}
+		if err := chromeTrace(args[0], *quick, *traceOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *dist {
+		if err := runDist(*quick, *csv); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if len(args) == 0 {
 		usage()
 		os.Exit(2)
 	}
-
-	vm.SetWorkers(*workers)
 
 	r := harness.NewRunner()
 	r.Quick = *quick
@@ -73,6 +94,7 @@ func main() {
 		var walls []wallEntry
 		for _, id := range ids {
 			before := core.CounterSnapshot()
+			beforeS := trace.GlobalSnapshot()
 			start := time.Now()
 			t, err := r.Run(id)
 			wall := time.Since(start)
@@ -82,7 +104,8 @@ func main() {
 			}
 			emit(t, *csv)
 			fmt.Printf("[%s: %.2fs wall]\n\n", t.ID, wall.Seconds())
-			walls = append(walls, newWallEntry(t.ID, wall.Seconds(), core.CounterSnapshot().Sub(before)))
+			walls = append(walls, newWallEntry(t.ID, wall.Seconds(),
+				core.CounterSnapshot().Sub(before), trace.GlobalSnapshot().Sub(beforeS)))
 		}
 		writeWalls(*jsonOut, walls)
 		return
@@ -112,6 +135,7 @@ func main() {
 		return
 	default:
 		before := core.CounterSnapshot()
+		beforeS := trace.GlobalSnapshot()
 		start := time.Now()
 		t, err := r.Run(args[0])
 		wall := time.Since(start)
@@ -120,12 +144,16 @@ func main() {
 		}
 		emit(t, *csv)
 		fmt.Printf("[%s: %.2fs wall]\n", t.ID, wall.Seconds())
-		writeWalls(*jsonOut, []wallEntry{newWallEntry(t.ID, wall.Seconds(), core.CounterSnapshot().Sub(before))})
+		writeWalls(*jsonOut, []wallEntry{newWallEntry(t.ID, wall.Seconds(),
+			core.CounterSnapshot().Sub(before), trace.GlobalSnapshot().Sub(beforeS))})
 	}
 }
 
 // wallEntry is one experiment's host wall-clock cost (not virtual time)
-// plus the summary-driven elision counters its FluidiCL runs accumulated.
+// plus what its FluidiCL runs accumulated: the summary-driven elision
+// counters and the trace-meter work distribution (virtual busy times,
+// work-group split, link traffic, compute overlap). Everything except
+// wall_seconds is virtual and therefore deterministic.
 type wallEntry struct {
 	ID                string  `json:"id"`
 	WallSeconds       float64 `json:"wall_seconds"`
@@ -133,9 +161,19 @@ type wallEntry struct {
 	PrimeCopiesElided int64   `json:"prime_copies_elided"`
 	ShipBytesSkipped  int64   `json:"ship_bytes_skipped"`
 	MergeWordsElided  int64   `json:"merge_words_elided"`
+	FluidiCLRuns      int64   `json:"fluidicl_runs"`
+	CPUBusySeconds    float64 `json:"cpu_busy_seconds"`
+	GPUBusySeconds    float64 `json:"gpu_busy_seconds"`
+	BothBusySeconds   float64 `json:"both_busy_seconds"`
+	CPUWGs            int64   `json:"cpu_wgs"`
+	GPUWGs            int64   `json:"gpu_wgs"`
+	LinkBusySeconds   float64 `json:"link_busy_seconds"`
+	BytesH2D          int64   `json:"bytes_h2d"`
+	BytesD2H          int64   `json:"bytes_d2h"`
+	OverlapFrac       float64 `json:"overlap_frac"`
 }
 
-func newWallEntry(id string, wall float64, c core.Counters) wallEntry {
+func newWallEntry(id string, wall float64, c core.Counters, s trace.GlobalSummary) wallEntry {
 	return wallEntry{
 		ID:                id,
 		WallSeconds:       wall,
@@ -143,6 +181,16 @@ func newWallEntry(id string, wall float64, c core.Counters) wallEntry {
 		PrimeCopiesElided: c.PrimeCopiesElided,
 		ShipBytesSkipped:  c.ShipBytesSkipped,
 		MergeWordsElided:  c.MergeWordsElided,
+		FluidiCLRuns:      s.Runs,
+		CPUBusySeconds:    s.CPUBusy,
+		GPUBusySeconds:    s.GPUBusy,
+		BothBusySeconds:   s.BothBusy,
+		CPUWGs:            s.CPUWGs,
+		GPUWGs:            s.GPUWGs,
+		LinkBusySeconds:   s.LinkBusy,
+		BytesH2D:          s.BytesH2D,
+		BytesD2H:          s.BytesD2H,
+		OverlapFrac:       s.OverlapFrac(),
 	}
 }
 
@@ -224,13 +272,117 @@ func didAll(b bool) string {
 	return ""
 }
 
+// benchFor resolves a benchmark name case-insensitively, at full scale or at
+// the harness quick scale.
+func benchFor(name string, quick bool) (*polybench.Benchmark, error) {
+	n := strings.ToUpper(name)
+	if quick {
+		return polybench.ByNameQuick(n)
+	}
+	return polybench.ByName(n)
+}
+
+// chromeTrace runs one benchmark under FluidiCL with the event recorder
+// attached and writes the recording as Chrome trace_event JSON: one track
+// per simulated device, one per link, one for the FluidiCL runtime's
+// scheduling decisions. The file loads in chrome://tracing and Perfetto.
+func chromeTrace(name string, quick bool, out string) error {
+	b, err := benchFor(name, quick)
+	if err != nil {
+		return err
+	}
+	rec := trace.NewRecorder()
+	res, err := sched.RunFluidiCLTraced(sched.DefaultMachine(), b.App, core.Options{}, rec)
+	if err != nil {
+		return err
+	}
+	if err := b.Verify(res.Outputs); err != nil {
+		return fmt.Errorf("wrong results: %w", err)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	cpu := res.Summary.ByKind("CPU")
+	gpu := res.Summary.ByKind("GPU")
+	fmt.Printf("wrote %s: %d events on %d tracks (open in chrome://tracing or ui.perfetto.dev)\n",
+		out, len(rec.Events()), len(rec.Tracks()))
+	fmt.Printf("%s %s: %.3f ms virtual; CPU busy %.3f ms (%d wgs), GPU busy %.3f ms (%d wgs), overlap %.0f%%\n",
+		b.Name, b.InputDesc, res.Time*1e3,
+		cpu.Busy*1e3, cpu.WGsExecuted, gpu.Busy*1e3, gpu.WGsExecuted,
+		res.Summary.OverlapFrac()*100)
+	return nil
+}
+
+// runDist reproduces the paper's §5.5 work-distribution reporting: for every
+// Polybench benchmark, one FluidiCL run's CPU-vs-GPU work-group split,
+// per-device busy time, link traffic and overhead, and the fraction of the
+// smaller device's compute that overlapped the other device's.
+func runDist(quick, csv bool) error {
+	benches := polybench.AllWithExtras()
+	if quick {
+		benches = polybench.AllQuick()
+	}
+	m := sched.DefaultMachine()
+	t := &harness.Table{
+		ID:    "dist",
+		Title: "FluidiCL work distribution and overhead breakdown (paper §5.5)",
+		Note: "per-benchmark FluidiCL run: work-groups executed per device (app kernels only),\n" +
+			"virtual busy and link time, bytes over the links, and compute overlap",
+		Columns: []string{"Benchmark", "CPU-WGs", "GPU-WGs", "CPU-share", "CPU-busy", "GPU-busy", "link-busy", "link-wait", "H2D-KB", "D2H-KB", "overlap", "time-ms"},
+	}
+	for _, b := range benches {
+		res, err := sched.RunFluidiCL(m, b.App, core.Options{})
+		if err != nil {
+			return fmt.Errorf("%s: %w", b.Name, err)
+		}
+		if err := b.Verify(res.Outputs); err != nil {
+			return fmt.Errorf("%s: wrong results: %w", b.Name, err)
+		}
+		var cpuWGs, gpuWGs int64
+		for _, rep := range res.Reports {
+			cpuWGs += int64(rep.CPUWGs)
+			gpuWGs += int64(rep.GPUExecuted)
+		}
+		share := 0.0
+		if cpuWGs+gpuWGs > 0 {
+			share = float64(cpuWGs) / float64(cpuWGs+gpuWGs)
+		}
+		cpu := res.Summary.ByKind("CPU")
+		gpu := res.Summary.ByKind("GPU")
+		t.AddRow(b.Name,
+			fmt.Sprintf("%d", cpuWGs),
+			fmt.Sprintf("%d", gpuWGs),
+			fmt.Sprintf("%.0f%%", share*100),
+			fmt.Sprintf("%.2fms", cpu.Busy*1e3),
+			fmt.Sprintf("%.2fms", gpu.Busy*1e3),
+			fmt.Sprintf("%.2fms", (cpu.LinkBusy+gpu.LinkBusy)*1e3),
+			fmt.Sprintf("%.2fms", (cpu.LinkWait+gpu.LinkWait)*1e3),
+			fmt.Sprintf("%.1f", float64(cpu.BytesH2D+gpu.BytesH2D)/1024),
+			fmt.Sprintf("%.1f", float64(cpu.BytesD2H+gpu.BytesD2H)/1024),
+			fmt.Sprintf("%.0f%%", res.Summary.OverlapFrac()*100),
+			fmt.Sprintf("%.3f", res.Time*1e3))
+	}
+	emit(t, csv)
+	return nil
+}
+
 func usage() {
 	fmt.Fprintf(os.Stderr, `fluidibench — regenerate the FluidiCL paper's tables and figures
 
 usage:
   fluidibench [-csv] [-quick] [-workers N] [-parallel N] [-jsonout F] <experiment>|all
+  fluidibench -trace out.json [-quick] <benchmark>   # Chrome trace_event JSON (chrome://tracing)
+  fluidibench -dist [-quick] [-csv]   # CPU/GPU work-distribution table (paper §5.5)
   fluidibench run <benchmark>     # one benchmark under every strategy
-  fluidibench trace <benchmark>   # cooperative-execution timeline
+  fluidibench trace <benchmark>   # cooperative-execution timeline (plain text)
   fluidibench dump <benchmark>    # transformed sources + bytecode disassembly
   fluidibench list
 
@@ -298,19 +450,24 @@ func traceOne(name string) error {
 	if err != nil {
 		return err
 	}
+	bufNames := make([]string, 0, len(b.App.Buffers))
+	for bn := range b.App.Buffers {
+		bufNames = append(bufNames, bn)
+	}
+	sort.Strings(bufNames)
 	bufs := map[string]*core.Buffer{}
-	for bn, size := range b.App.Buffers {
-		bufs[bn] = rt.CreateBuffer(size)
+	for _, bn := range bufNames {
+		bufs[bn] = rt.CreateBuffer(b.App.Buffers[bn])
 	}
 	kernels := map[string]*core.Kernel{}
 	var runErr error
 	env.Go("app", func(p *sim.Proc) {
-		for bn, buf := range bufs {
+		for _, bn := range bufNames {
 			data := b.App.Inputs[bn]
 			if data == nil {
 				data = make([]byte, b.App.Buffers[bn])
 			}
-			rt.EnqueueWriteBuffer(p, buf, data)
+			rt.EnqueueWriteBuffer(p, bufs[bn], data)
 		}
 		for _, l := range b.App.Launches {
 			k := kernels[l.Kernel]

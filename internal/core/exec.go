@@ -250,7 +250,7 @@ func (r *Runtime) EnqueueNDRangeKernel(p *sim.Proc, k *Kernel, nd vm.NDRange, ar
 				r.tracef(kid, "upload of stale out buffer %q skipped (full-overwrite summary)", param.Name)
 			} else {
 				snap := append([]byte(nil), b.host...)
-				r.gpuApp.EnqueueWriteBuffer(b.gpuBuf, snap)
+				r.gpuApp.EnqueueWriteBufferTagged(b.gpuBuf, snap, "upload")
 				b.locGPU = true
 				b.gpuVersion = b.receivedVersion
 			}
@@ -456,7 +456,7 @@ func (r *Runtime) EnqueueNDRangeKernel(p *sim.Proc, k *Kernel, nd vm.NDRange, ar
 				// CPU queue sequences this write before any later
 				// subkernel, even behind a laggard subkernel of this
 				// kernel whose results are being ignored.
-				r.cpuQ.EnqueueWriteBuffer(b.cpuBuf, b.host)
+				r.cpuQ.EnqueueWriteBufferTagged(b.cpuBuf, b.host, "refresh")
 				b.receivedVersion = kid
 				b.locCPU = true
 				b.cpuReady.Fire()
@@ -693,10 +693,10 @@ func (r *Runtime) shipToGPU(kid, lo, hi int, nd vm.NDRange, outBufs []*Buffer, s
 			wp.Wait(s.ev)
 		}
 		for _, s := range stages {
-			r.gpuHD.EnqueueWriteBufferAt(s.dst, s.off, s.data)
+			r.gpuHD.EnqueueWriteBufferAtTagged(s.dst, s.off, s.data, "ship")
 		}
 		st := encodeStatus(int32(kid), int32(lo))
-		stEv := r.gpuHD.EnqueueWriteBuffer(r.statusBuf, st)
+		stEv := r.gpuHD.EnqueueWriteBufferTagged(r.statusBuf, st, "status")
 		r.gpuHD.EnqueueCall(func() {
 			slog.record(lo)
 			r.tracef(kid, "status arrived at GPU: work-groups >= %d complete on CPU", lo)

@@ -109,6 +109,7 @@ type Runtime struct {
 	kernelSeq   int
 	deferredErr error // CPU-side failure noticed after a kernel call returned
 	trace       *Trace
+	fclTrk      int      // recorder track id + 1 for runtime instants (0 = unregistered)
 	ctr         Counters // analyzer-enabled elision counters (atomic)
 
 	Reports []*KernelReport

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"fluidicl/internal/sim"
+	"fluidicl/internal/trace"
 )
 
 // TraceEvent is one timestamped runtime event.
@@ -30,14 +31,34 @@ func (r *Runtime) EnableTrace() *Trace {
 }
 
 func (r *Runtime) tracef(kid int, format string, args ...interface{}) {
-	if r.trace == nil {
+	rec := r.Env.Trace
+	if r.trace == nil && rec == nil {
 		return
 	}
-	r.trace.Events = append(r.trace.Events, TraceEvent{
-		T:    r.Env.Now(),
-		KID:  kid,
-		What: fmt.Sprintf(format, args...),
-	})
+	what := fmt.Sprintf(format, args...)
+	if r.trace != nil {
+		r.trace.Events = append(r.trace.Events, TraceEvent{
+			T:    r.Env.Now(),
+			KID:  kid,
+			What: what,
+		})
+	}
+	if rec != nil {
+		// Every FluidiCL scheduling decision (subkernel dispatch, ships,
+		// merges, elisions, completion races) also lands on the runtime's
+		// own recorder track, as instants on the shared virtual clock.
+		rec.Instant(r.fclTrack(rec), what, r.Env.Now(),
+			trace.KV{K: "kid", V: int64(kid)})
+	}
+}
+
+// fclTrack returns (registering on first use) the recorder track carrying
+// the FluidiCL runtime's scheduling decisions.
+func (r *Runtime) fclTrack(rec *trace.Recorder) int {
+	if r.fclTrk == 0 {
+		r.fclTrk = rec.Track("FluidiCL runtime") + 1
+	}
+	return r.fclTrk - 1
 }
 
 // String renders the timeline, one event per line, time-ordered.

@@ -208,11 +208,26 @@ type Device struct {
 	// the simulation is cooperative, so queue processes never run while a
 	// launch process is between samples.
 	memEpoch uint64
+
+	// Observability handles: mi is this device's index in env.Meter; trk and
+	// linkTrk are recorder track ids for the device's compute lane and its
+	// host link (-1 until registered).
+	mi      int
+	trk     int
+	linkTrk int
 }
 
-// New creates a device in env.
+// New creates a device in env. If env.Trace is already set, the device
+// registers its compute and link tracks now (so every device and link gets a
+// track even if it stays idle); otherwise tracks are registered lazily on
+// the first recorded event.
 func New(env *sim.Env, cfg Config) *Device {
-	return &Device{Env: env, Cfg: cfg, link: sim.NewResource(env, 1)}
+	d := &Device{Env: env, Cfg: cfg, link: sim.NewResource(env, 1), trk: -1, linkTrk: -1}
+	d.mi = env.Meter.AddDevice(cfg.Name, cfg.Kind.String())
+	if rec := env.Trace; rec != nil {
+		d.registerTracks(rec)
+	}
+	return d
 }
 
 // MemEpoch returns the device's external-mutation counter; see Device.memEpoch.
@@ -255,6 +270,12 @@ type Transfer struct {
 	Bytes int
 	Apply func()
 	Done  *sim.Event
+	// Label names the transfer in traces ("write", "read", "ship", ...);
+	// ToDevice distinguishes host-to-device traffic from device-to-host.
+	Label    string
+	ToDevice bool
+
+	enq sim.Time // enqueue timestamp, for queued-time trace args
 }
 
 func (*Transfer) isCommand() {}
@@ -274,6 +295,10 @@ type Launch struct {
 	Split  bool
 	Done   *sim.Event
 	Result *LaunchResult
+	// Label names the launch in traces (normally the kernel name).
+	Label string
+
+	enq sim.Time
 }
 
 func (*Launch) isCommand() {}
@@ -284,6 +309,12 @@ type Call struct {
 	Duration float64
 	Fn       func()
 	Done     *sim.Event
+	// Label, when non-empty, records the call as a span in traces
+	// (device-internal copies); unlabeled calls (markers, bookkeeping) are
+	// not recorded.
+	Label string
+
+	enq sim.Time
 }
 
 func (*Call) isCommand() {}
@@ -309,6 +340,7 @@ func (q *Queue) Enqueue(c Command) Command {
 		if c.Done == nil {
 			c.Done = q.dev.Env.NewEvent()
 		}
+		c.enq = q.dev.Env.Now()
 	case *Launch:
 		if c.Done == nil {
 			c.Done = q.dev.Env.NewEvent()
@@ -316,10 +348,12 @@ func (q *Queue) Enqueue(c Command) Command {
 		if c.Result == nil {
 			c.Result = &LaunchResult{}
 		}
+		c.enq = q.dev.Env.Now()
 	case *Call:
 		if c.Done == nil {
 			c.Done = q.dev.Env.NewEvent()
 		}
+		c.enq = q.dev.Env.Now()
 	}
 	q.q.Put(c)
 	return c
@@ -336,24 +370,43 @@ func (q *Queue) serve(p *sim.Proc) {
 		}
 		switch c := c.(type) {
 		case *Transfer:
+			t0 := p.Now()
 			q.dev.link.Acquire(p)
+			t1 := p.Now()
 			p.Sleep(q.dev.Cfg.Link.TransferTime(c.Bytes))
 			if c.Apply != nil {
 				c.Apply()
 				q.dev.memEpoch++
 			}
 			q.dev.link.Release()
+			t2 := p.Now()
+			q.dev.Env.Meter.TransferEnd(q.dev.mi, t1-t0, t2-t1, c.Bytes, c.ToDevice)
+			if rec := q.dev.Env.Trace; rec != nil {
+				q.dev.recordTransfer(rec, c, t0, t1, t2)
+			}
 			c.Done.Fire()
 		case *Launch:
+			t0 := p.Now()
+			q.dev.Env.Meter.LaunchBegin(q.dev.mi, t0)
 			q.dev.runLaunch(p, c)
+			t1 := p.Now()
+			q.dev.Env.Meter.LaunchEnd(q.dev.mi, t0, t1,
+				c.Result.Executed, c.Result.Skipped, c.Result.Aborted)
+			if rec := q.dev.Env.Trace; rec != nil {
+				q.dev.recordLaunch(rec, c, t0, t1)
+			}
 			c.Done.Fire()
 		case *Call:
+			t0 := p.Now()
 			if c.Duration > 0 {
 				p.Sleep(c.Duration)
 			}
 			if c.Fn != nil {
 				c.Fn()
 				q.dev.memEpoch++
+			}
+			if rec := q.dev.Env.Trace; rec != nil && c.Label != "" {
+				q.dev.recordCall(rec, c, t0, p.Now())
 			}
 			c.Done.Fire()
 		}

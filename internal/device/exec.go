@@ -116,6 +116,9 @@ func (d *Device) runLaunch(p *sim.Proc, l *Launch) {
 						cuFree[f.cu] = at
 					}
 					res.Aborted++
+					if rec := d.Env.Trace; rec != nil {
+						d.recordAbort(rec, f.fgid, at)
+					}
 					continue
 				}
 			}

@@ -1,0 +1,77 @@
+package device
+
+import (
+	"fluidicl/internal/trace"
+)
+
+// registerTracks claims this device's recorder tracks: one compute lane and
+// one for its host link. Registration order follows device construction
+// order, which is deterministic, so track ids (and therefore trace bytes)
+// are stable across runs.
+func (d *Device) registerTracks(rec *trace.Recorder) {
+	d.trk = rec.Track(d.Cfg.Name)
+	d.linkTrk = rec.Track(d.Cfg.Name + " link")
+}
+
+// ensureTracks lazily registers tracks for devices built before the recorder
+// was attached.
+func (d *Device) ensureTracks(rec *trace.Recorder) {
+	if d.trk < 0 {
+		d.registerTracks(rec)
+	}
+}
+
+// recordTransfer emits one completed link transfer: a contention span while
+// the command waited for the link (if any) followed by the wire-time span.
+// t0 = dequeue (wait start), t1 = link acquired, t2 = transfer complete.
+func (d *Device) recordTransfer(rec *trace.Recorder, c *Transfer, t0, t1, t2 float64) {
+	d.ensureTracks(rec)
+	name := c.Label
+	if name == "" {
+		if c.ToDevice {
+			name = "write"
+		} else {
+			name = "read"
+		}
+	}
+	if t1 > t0 {
+		rec.Span(d.linkTrk, "wait:"+name, t0, t1, trace.KV{K: "bytes", V: int64(c.Bytes)})
+	}
+	rec.Span(d.linkTrk, name, t1, t2,
+		trace.KV{K: "bytes", V: int64(c.Bytes)},
+		trace.KV{K: "queued_ns", V: ns(t0 - c.enq)},
+		trace.KV{K: "wait_ns", V: ns(t1 - t0)})
+}
+
+// recordLaunch emits one completed kernel launch span on the device's
+// compute track, with the launch's work-group disposition as args.
+func (d *Device) recordLaunch(rec *trace.Recorder, c *Launch, t0, t1 float64) {
+	d.ensureTracks(rec)
+	name := c.Label
+	if name == "" {
+		name = "kernel"
+	}
+	rec.Span(d.trk, name, t0, t1,
+		trace.KV{K: "groups", V: int64(c.ND.LaunchGroups())},
+		trace.KV{K: "executed", V: int64(c.Result.Executed)},
+		trace.KV{K: "skipped", V: int64(c.Result.Skipped)},
+		trace.KV{K: "aborted", V: int64(c.Result.Aborted)},
+		trace.KV{K: "queued_ns", V: ns(t0 - c.enq)})
+}
+
+// recordCall emits a labeled queue call (device-internal copies).
+func (d *Device) recordCall(rec *trace.Recorder, c *Call, t0, t1 float64) {
+	d.ensureTracks(rec)
+	rec.Span(d.trk, c.Label, t0, t1,
+		trace.KV{K: "queued_ns", V: ns(t0 - c.enq)})
+}
+
+// recordAbort emits a mid-flight work-group abort (with store rollback) as
+// an instant on the device's compute track.
+func (d *Device) recordAbort(rec *trace.Recorder, fgid int, at float64) {
+	d.ensureTracks(rec)
+	rec.Instant(d.trk, "wg-abort", at, trace.KV{K: "fgid", V: int64(fgid)})
+}
+
+// ns converts virtual seconds to integer nanoseconds for trace args.
+func ns(sec float64) int64 { return int64(sec * 1e9) }

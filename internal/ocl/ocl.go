@@ -191,12 +191,20 @@ func (c *Context) CreateQueue(name string) *CommandQueue {
 // (clEnqueueWriteBuffer). src is read at transfer-completion time; callers
 // that reuse src must snapshot it first (FluidiCL does — paper §5.5).
 func (q *CommandQueue) EnqueueWriteBuffer(b *Buffer, src []byte) *sim.Event {
+	return q.EnqueueWriteBufferTagged(b, src, "write")
+}
+
+// EnqueueWriteBufferTagged is EnqueueWriteBuffer with a trace label naming
+// the transfer's role (FluidiCL tags its status-word ships "status").
+func (q *CommandQueue) EnqueueWriteBufferTagged(b *Buffer, src []byte, label string) *sim.Event {
 	if len(src) > b.Size {
 		panic(fmt.Sprintf("ocl: write of %d bytes into %d-byte buffer", len(src), b.Size))
 	}
 	t := &device.Transfer{
-		Bytes: len(src),
-		Apply: func() { copy(b.data, src) },
+		Bytes:    len(src),
+		Apply:    func() { copy(b.data, src) },
+		Label:    label,
+		ToDevice: true,
 	}
 	q.q.Enqueue(t)
 	return t.Done
@@ -206,12 +214,21 @@ func (q *CommandQueue) EnqueueWriteBuffer(b *Buffer, src []byte) *sim.Event {
 // byte offset off (clEnqueueWriteBuffer with a non-zero offset). FluidiCL
 // uses it to ship only the byte range a CPU subkernel provably wrote.
 func (q *CommandQueue) EnqueueWriteBufferAt(b *Buffer, off int, src []byte) *sim.Event {
+	return q.EnqueueWriteBufferAtTagged(b, off, src, "write")
+}
+
+// EnqueueWriteBufferAtTagged is EnqueueWriteBufferAt with a trace label
+// naming the transfer's role (FluidiCL tags its CPU-to-GPU result ships
+// "ship").
+func (q *CommandQueue) EnqueueWriteBufferAtTagged(b *Buffer, off int, src []byte, label string) *sim.Event {
 	if off < 0 || off+len(src) > b.Size {
 		panic(fmt.Sprintf("ocl: write of %d bytes at offset %d into %d-byte buffer", len(src), off, b.Size))
 	}
 	t := &device.Transfer{
-		Bytes: len(src),
-		Apply: func() { copy(b.data[off:], src) },
+		Bytes:    len(src),
+		Apply:    func() { copy(b.data[off:], src) },
+		Label:    label,
+		ToDevice: true,
 	}
 	q.q.Enqueue(t)
 	return t.Done
@@ -226,6 +243,7 @@ func (q *CommandQueue) EnqueueReadBuffer(b *Buffer, dst []byte) *sim.Event {
 	t := &device.Transfer{
 		Bytes: len(dst),
 		Apply: func() { copy(dst, b.data[:len(dst)]) },
+		Label: "read",
 	}
 	q.q.Enqueue(t)
 	return t.Done
@@ -240,6 +258,7 @@ func (q *CommandQueue) EnqueueReadBufferAt(b *Buffer, off int, dst []byte) *sim.
 	t := &device.Transfer{
 		Bytes: len(dst),
 		Apply: func() { copy(dst, b.data[off:off+len(dst)]) },
+		Label: "read",
 	}
 	q.q.Enqueue(t)
 	return t.Done
@@ -255,6 +274,7 @@ func (q *CommandQueue) EnqueueCopyBuffer(src, dst *Buffer) *sim.Event {
 	c := &device.Call{
 		Duration: q.Ctx.Dev.Cfg.CopyTime(n),
 		Fn:       func() { copy(dst.data[:n], src.data[:n]) },
+		Label:    "copy",
 	}
 	q.q.Enqueue(c)
 	return c.Done
@@ -278,6 +298,7 @@ func (q *CommandQueue) EnqueueNDRangeKernel(k *Kernel, nd vm.NDRange, args []Arg
 		Abort:    opts.Abort,
 		MidAbort: opts.MidAbort,
 		Split:    opts.Split,
+		Label:    k.Name,
 	}
 	q.q.Enqueue(l)
 	return l.Done, l.Result

@@ -68,10 +68,38 @@ func All() []*Benchmark {
 	}
 }
 
+// AllQuick returns reduced-scale variants of every benchmark (the paper's
+// six plus the extras), matching the harness quick scale: same kernels and
+// schedules, small enough for fast gates.
+func AllQuick() []*Benchmark {
+	return []*Benchmark{
+		TwoMM(48, 48, 48),
+		Bicg(192),
+		Corr(64, 64),
+		Gesummv(192),
+		Syrk(64, 64),
+		Syr2k(48, 48),
+		Atax(192),
+		Mvt(192),
+		Gemm(48, 48, 48),
+		TwoDConv(64),
+	}
+}
+
 // ByName returns the default-size benchmark with the given name (the
 // paper's six plus the extras).
 func ByName(name string) (*Benchmark, error) {
 	for _, b := range AllWithExtras() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("polybench: unknown benchmark %q", name)
+}
+
+// ByNameQuick returns the reduced-scale variant with the given name.
+func ByNameQuick(name string) (*Benchmark, error) {
+	for _, b := range AllQuick() {
 		if b.Name == name {
 			return b, nil
 		}

@@ -10,10 +10,12 @@ package sched
 
 import (
 	"fmt"
+	"sort"
 
 	"fluidicl/internal/core"
 	"fluidicl/internal/device"
 	"fluidicl/internal/sim"
+	"fluidicl/internal/trace"
 	"fluidicl/internal/vm"
 )
 
@@ -83,6 +85,22 @@ type Result struct {
 	// Counters reports the transfer/merge work the FluidiCL runtime elided
 	// based on static kernel summaries (FluidiCL runs only).
 	Counters core.Counters
+	// Summary aggregates the run's trace meter: per-device busy time and
+	// work-group counts, bytes moved per link direction, and the fraction of
+	// compute that overlapped across devices.
+	Summary trace.Summary
+}
+
+// sortedBufferNames returns the app's buffer names in lexical order. Buffer
+// setup iterates in this order (not map order) so that the sequence of
+// enqueued transfers — and therefore recorded traces — is deterministic.
+func sortedBufferNames(buffers map[string]int) []string {
+	names := make([]string, 0, len(buffers))
+	for name := range buffers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Machine bundles the device models for a run.
@@ -107,7 +125,21 @@ func RunFluidiCL(m Machine, app *App, opts core.Options) (*Result, error) {
 // first run, §8 — which is also when online profiling learns which kernel
 // version is fastest, §6.6).
 func RunFluidiCLRepeat(m Machine, app *App, opts core.Options, times int) (*Result, error) {
+	return runFluidiCL(m, app, opts, times, nil)
+}
+
+// RunFluidiCLTraced is RunFluidiCL with an event recorder attached to the
+// simulation: every launch, transfer, link-contention span and FluidiCL
+// scheduling decision lands in rec for export (e.g. rec.WriteChrome).
+// Recording does not perturb the simulation, so Result is identical to an
+// untraced run.
+func RunFluidiCLTraced(m Machine, app *App, opts core.Options, rec *trace.Recorder) (*Result, error) {
+	return runFluidiCL(m, app, opts, 1, rec)
+}
+
+func runFluidiCL(m Machine, app *App, opts core.Options, times int, rec *trace.Recorder) (*Result, error) {
 	env := sim.NewEnv()
+	env.Trace = rec // before device.New, so devices register their tracks
 	rt, err := core.New(env, device.New(env, m.CPU), device.New(env, m.GPU), opts)
 	if err != nil {
 		return nil, err
@@ -136,9 +168,10 @@ func RunFluidiCLRepeat(m Machine, app *App, opts core.Options, times int) (*Resu
 			return nil, err
 		}
 	}
+	bufNames := sortedBufferNames(app.Buffers)
 	bufs := map[string]*core.Buffer{}
-	for name, size := range app.Buffers {
-		bufs[name] = rt.CreateBuffer(size)
+	for _, name := range bufNames {
+		bufs[name] = rt.CreateBuffer(app.Buffers[name])
 	}
 	if times < 1 {
 		times = 1
@@ -148,7 +181,8 @@ func RunFluidiCLRepeat(m Machine, app *App, opts core.Options, times int) (*Resu
 	env.Go("app", func(p *sim.Proc) {
 		for iter := 0; iter < times; iter++ {
 			start := p.Now()
-			for name, b := range bufs {
+			for _, name := range bufNames {
+				b := bufs[name]
 				data := app.Inputs[name]
 				if data == nil {
 					data = make([]byte, app.Buffers[name])
@@ -192,5 +226,7 @@ func RunFluidiCLRepeat(m Machine, app *App, opts core.Options, times int) (*Resu
 	}
 	res.Reports = rt.Reports
 	res.Counters = rt.Counters()
+	res.Summary = env.Meter.Summary()
+	trace.AccumulateGlobal(res.Summary)
 	return res, nil
 }

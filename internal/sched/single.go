@@ -19,9 +19,10 @@ func RunSingle(cfg device.Config, app *App) (*Result, error) {
 		return nil, err
 	}
 	q := ctx.CreateQueue("app")
+	bufNames := sortedBufferNames(app.Buffers)
 	bufs := map[string]*ocl.Buffer{}
-	for name, size := range app.Buffers {
-		bufs[name] = ctx.CreateBuffer(size)
+	for _, name := range bufNames {
+		bufs[name] = ctx.CreateBuffer(app.Buffers[name])
 	}
 	kernels := map[string]*ocl.Kernel{}
 	for _, l := range app.Launches {
@@ -36,12 +37,12 @@ func RunSingle(cfg device.Config, app *App) (*Result, error) {
 	res := &Result{Outputs: map[string][]byte{}}
 	var runErr error
 	env.Go("app", func(p *sim.Proc) {
-		for name, b := range bufs {
+		for _, name := range bufNames {
 			data := app.Inputs[name]
 			if data == nil {
 				data = make([]byte, app.Buffers[name])
 			}
-			q.EnqueueWriteBuffer(b, data)
+			q.EnqueueWriteBuffer(bufs[name], data)
 		}
 		for _, l := range app.Launches {
 			args := make([]ocl.Arg, len(l.Args))
@@ -78,5 +79,6 @@ func RunSingle(cfg device.Config, app *App) (*Result, error) {
 	if res.Time == 0 && len(app.Launches) > 0 {
 		return nil, fmt.Errorf("sched: single-device run of %s did not complete", app.Name)
 	}
+	res.Summary = env.Meter.Summary()
 	return res, nil
 }

@@ -93,8 +93,10 @@ func RunSocl(m Machine, app *App, policy Policy, model DmdaModel) (*Result, erro
 	cpuQ := cpuCtx.CreateQueue("app")
 	gpuQ := gpuCtx.CreateQueue("app")
 
+	bufNames := sortedBufferNames(app.Buffers)
 	bufs := map[string]*sbuf{}
-	for name, size := range app.Buffers {
+	for _, name := range bufNames {
+		size := app.Buffers[name]
 		bufs[name] = &sbuf{size: size, cpu: cpuCtx.CreateBuffer(size), gpu: gpuCtx.CreateBuffer(size), host: make([]byte, size)}
 	}
 
@@ -103,7 +105,8 @@ func RunSocl(m Machine, app *App, policy Policy, model DmdaModel) (*Result, erro
 
 	env.Go("app", func(p *sim.Proc) {
 		// SOCL-style: inputs start host-side; transfers happen on demand.
-		for name, b := range bufs {
+		for _, name := range bufNames {
+			b := bufs[name]
 			data := app.Inputs[name]
 			if data == nil {
 				data = make([]byte, b.size)
@@ -184,6 +187,7 @@ func RunSocl(m Machine, app *App, policy Policy, model DmdaModel) (*Result, erro
 	if res.Time == 0 && len(app.Launches) > 0 {
 		return nil, fmt.Errorf("sched: SOCL run of %s did not complete", app.Name)
 	}
+	res.Summary = env.Meter.Summary()
 	return res, nil
 }
 

@@ -55,8 +55,10 @@ func RunStatic(m Machine, app *App, gpuPct int) (*Result, error) {
 	cpuQ := cpuCtx.CreateQueue("app")
 	gpuQ := gpuCtx.CreateQueue("app")
 
+	bufNames := sortedBufferNames(app.Buffers)
 	bufs := map[string]*sbuf{}
-	for name, size := range app.Buffers {
+	for _, name := range bufNames {
+		size := app.Buffers[name]
 		bufs[name] = &sbuf{size: size, cpu: cpuCtx.CreateBuffer(size), gpu: gpuCtx.CreateBuffer(size), host: make([]byte, size)}
 	}
 
@@ -65,7 +67,8 @@ func RunStatic(m Machine, app *App, gpuPct int) (*Result, error) {
 	fail := func(err error) { runErr = err }
 
 	env.Go("app", func(p *sim.Proc) {
-		for name, b := range bufs {
+		for _, name := range bufNames {
+			b := bufs[name]
 			data := app.Inputs[name]
 			if data == nil {
 				data = make([]byte, b.size)
@@ -188,6 +191,7 @@ func RunStatic(m Machine, app *App, gpuPct int) (*Result, error) {
 	if res.Time == 0 && len(app.Launches) > 0 {
 		return nil, fmt.Errorf("sched: static run of %s did not complete", app.Name)
 	}
+	res.Summary = env.Meter.Summary()
 	return res, nil
 }
 

@@ -16,6 +16,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+
+	"fluidicl/internal/trace"
 )
 
 // Time is a point in virtual time, in seconds since the start of the run.
@@ -69,6 +71,16 @@ type Env struct {
 	parked chan struct{} // a running process signals here when it yields
 	live   map[*Proc]bool
 	dead   bool
+
+	// Meter accumulates always-on aggregate metrics (device busy time,
+	// work-group counts, link traffic). By value so metering never
+	// allocates; devices register themselves on construction.
+	Meter trace.Meter
+
+	// Trace, when non-nil, records individual events for export. Set it
+	// before constructing devices (they register their tracks at
+	// construction); a nil recorder is fully inert.
+	Trace *trace.Recorder
 }
 
 // NewEnv creates an empty simulation environment at time zero.

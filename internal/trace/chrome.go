@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// WriteChrome serializes the recording in the Chrome trace_event JSON object
+// format, loadable in chrome://tracing and Perfetto. Everything runs inside
+// one simulated process (pid 0); each recorder track becomes one named
+// thread (tid = track id), so the viewer shows one lane per simulated device
+// plus one per link.
+//
+// The output is deliberately hand-serialized rather than encoding/json: a
+// fixed field order, a fixed float format (microseconds with three decimal
+// places, i.e. nanosecond resolution of virtual time) and events in record
+// order make the bytes a pure function of the recording, so identical runs
+// produce byte-identical files — a golden test in internal/harness pins
+// this.
+func (r *Recorder) WriteChrome(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+	bw.WriteString(`{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"fluidicl (simulated)"}}`)
+	var tracks []string
+	var events []Event
+	if r != nil {
+		tracks = r.Tracks()
+		events = r.Events()
+	}
+	for i, t := range tracks {
+		bw.WriteString(",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":")
+		bw.WriteString(strconv.Itoa(i))
+		bw.WriteString(",\"args\":{\"name\":")
+		bw.WriteString(strconv.Quote(t))
+		bw.WriteString("}}")
+		// Pin lane order in the viewer to track registration order.
+		bw.WriteString(",\n{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,\"tid\":")
+		bw.WriteString(strconv.Itoa(i))
+		bw.WriteString(",\"args\":{\"sort_index\":")
+		bw.WriteString(strconv.Itoa(i))
+		bw.WriteString("}}")
+	}
+	for _, e := range events {
+		bw.WriteString(",\n{\"name\":")
+		bw.WriteString(strconv.Quote(e.Name))
+		bw.WriteString(",\"ph\":\"")
+		bw.WriteByte(e.Ph)
+		bw.WriteString("\",\"ts\":")
+		bw.WriteString(us(e.Start))
+		if e.Ph == PhSpan {
+			bw.WriteString(",\"dur\":")
+			bw.WriteString(us(e.Dur))
+		}
+		bw.WriteString(",\"pid\":0,\"tid\":")
+		bw.WriteString(strconv.Itoa(e.Track))
+		if e.Ph == PhInstant {
+			bw.WriteString(",\"s\":\"t\"") // thread-scoped instant
+		}
+		if len(e.Args) > 0 {
+			bw.WriteString(",\"args\":{")
+			for i, kv := range e.Args {
+				if i > 0 {
+					bw.WriteByte(',')
+				}
+				bw.WriteString(strconv.Quote(kv.K))
+				bw.WriteByte(':')
+				bw.WriteString(strconv.FormatInt(kv.V, 10))
+			}
+			bw.WriteByte('}')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// us formats a virtual-seconds value as trace_event microseconds with fixed
+// three-decimal precision (deterministic across platforms for identical
+// float64 inputs).
+func us(sec float64) string {
+	return strconv.FormatFloat(sec*1e6, 'f', 3, 64)
+}

@@ -1,0 +1,82 @@
+package trace
+
+import "sync"
+
+// GlobalSummary is a flattened, process-wide accumulation of FluidiCL run
+// summaries: the CPU/GPU rollup of every Summary passed to AccumulateGlobal
+// since process start. fluidibench snapshots it around each experiment
+// (mirroring core's CounterSnapshot pattern) so -jsonout can report the work
+// distribution per experiment even though the harness runs table cells on
+// concurrent goroutines.
+type GlobalSummary struct {
+	Runs     int64
+	CPUBusy  float64
+	GPUBusy  float64
+	BothBusy float64
+	CPUWGs   int64
+	GPUWGs   int64
+	LinkBusy float64
+	LinkWait float64
+	BytesH2D int64
+	BytesD2H int64
+}
+
+var global struct {
+	sync.Mutex
+	s GlobalSummary
+}
+
+// AccumulateGlobal folds one run's summary into the process-wide totals.
+func AccumulateGlobal(s Summary) {
+	cpu := s.ByKind("CPU")
+	gpu := s.ByKind("GPU")
+	global.Lock()
+	g := &global.s
+	g.Runs++
+	g.CPUBusy += cpu.Busy
+	g.GPUBusy += gpu.Busy
+	g.BothBusy += s.BothBusy
+	g.CPUWGs += cpu.WGsExecuted
+	g.GPUWGs += gpu.WGsExecuted
+	g.LinkBusy += cpu.LinkBusy + gpu.LinkBusy
+	g.LinkWait += cpu.LinkWait + gpu.LinkWait
+	g.BytesH2D += cpu.BytesH2D + gpu.BytesH2D
+	g.BytesD2H += cpu.BytesD2H + gpu.BytesD2H
+	global.Unlock()
+}
+
+// GlobalSnapshot returns the current process-wide totals.
+func GlobalSnapshot() GlobalSummary {
+	global.Lock()
+	defer global.Unlock()
+	return global.s
+}
+
+// Sub returns g minus o, for before/after snapshot deltas.
+func (g GlobalSummary) Sub(o GlobalSummary) GlobalSummary {
+	return GlobalSummary{
+		Runs:     g.Runs - o.Runs,
+		CPUBusy:  g.CPUBusy - o.CPUBusy,
+		GPUBusy:  g.GPUBusy - o.GPUBusy,
+		BothBusy: g.BothBusy - o.BothBusy,
+		CPUWGs:   g.CPUWGs - o.CPUWGs,
+		GPUWGs:   g.GPUWGs - o.GPUWGs,
+		LinkBusy: g.LinkBusy - o.LinkBusy,
+		LinkWait: g.LinkWait - o.LinkWait,
+		BytesH2D: g.BytesH2D - o.BytesH2D,
+		BytesD2H: g.BytesD2H - o.BytesD2H,
+	}
+}
+
+// OverlapFrac returns BothBusy as a fraction of the smaller of the CPU and
+// GPU busy totals (0 when either device never computed).
+func (g GlobalSummary) OverlapFrac() float64 {
+	minBusy := g.CPUBusy
+	if g.GPUBusy < minBusy {
+		minBusy = g.GPUBusy
+	}
+	if minBusy <= 0 {
+		return 0
+	}
+	return g.BothBusy / minBusy
+}

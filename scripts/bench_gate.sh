@@ -1,0 +1,25 @@
+#!/bin/sh
+# Bench-regression gate: re-run the quick-scale experiment suite and compare
+# each experiment's wall clock against the committed BENCH_01.json baseline.
+# Exits non-zero when any experiment regressed past the tolerance.
+#
+#   BENCH_GATE_TOL_PCT   allowed regression, percent (default 25)
+#   BENCH_GATE_MIN_SEC   ignore experiments with baseline below this (default 0.05)
+#
+# Wall clock is host time and therefore noisy; the default tolerance is wide
+# and the CI job running this is non-blocking. Regenerate the baseline on an
+# intentional perf change with `make bench-baseline`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tol="${BENCH_GATE_TOL_PCT:-25}"
+min="${BENCH_GATE_MIN_SEC:-0.05}"
+
+tmp="$(mktemp -t benchgate.XXXXXX.json)"
+trap 'rm -f "$tmp"' EXIT
+
+echo "bench_gate: running quick-scale suite (tolerance ${tol}%)..."
+go run ./cmd/fluidibench -quick -jsonout "$tmp" all >/dev/null
+
+go run ./cmd/benchgate -baseline BENCH_01.json -current "$tmp" -tol "$tol" -min "$min"

@@ -1,8 +1,19 @@
 #!/bin/sh
-# CI gate: formatting, build, vet, race-clean tests (includes the
-# determinism regression tests), kernel lint, plus a one-iteration
-# benchmark smoke. Mirrors `make check` for environments without make.
-set -eux
+# Full CI gate: the fast checks (`make check`: formatting, build, vet,
+# tests, kernel lint, bench smoke) plus the race-detector suite
+# (`make race`). Delegates to make so this script and the Makefile cannot
+# drift; the inline fallback below exists only for environments without
+# make.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if command -v make >/dev/null 2>&1; then
+    exec make check race
+fi
+
+# ---- inline fallback (no make available) ----
+set -x
 
 fmt=$(gofmt -l .)
 if [ -n "$fmt" ]; then
@@ -13,8 +24,10 @@ fi
 
 go build ./...
 go vet ./...
-# The harness package replays every experiment; under the race detector it
-# far exceeds go test's default 600s per-package timeout.
+# The harness package replays every experiment; it can exceed go test's
+# default 600s per-package timeout, and far exceeds it under the race
+# detector.
+go test -timeout 1800s ./...
 go test -race -timeout 1800s ./...
 
 # Lint every shipped kernel: the built-in Polybench set, the injected merge
