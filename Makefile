@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt-check lint build vet test race bench-smoke bench bench-baseline bench-gate
+.PHONY: check fmt-check lint build vet test race bench-smoke bench bench-baseline bench-baseline-interp bench-gate
 
 # The fast CI gate: formatting, build, vet, tests, kernel lint, benchmark
 # smoke. The race-detector suite is deliberately NOT in here — it reruns
@@ -41,12 +41,19 @@ bench-smoke:
 bench:
 	$(GO) test -bench . -benchmem -benchtime=3x -run '^$$' .
 
-# Regenerate the BENCH_01.json wall-clock baseline (quick scale).
+# Regenerate the BENCH_02.json wall-clock baseline (quick scale, closure
+# backend — the default). BENCH_01.json is the interpreter-era baseline the
+# closure backend is measured against; regenerate it with
+# bench-baseline-interp on intentional interpreter changes.
 bench-baseline:
-	$(GO) run ./cmd/fluidibench -quick -jsonout BENCH_01.json all >/dev/null
+	$(GO) run ./cmd/fluidibench -quick -jsonout BENCH_02.json all >/dev/null
+	@cat BENCH_02.json
+
+bench-baseline-interp:
+	$(GO) run ./cmd/fluidibench -quick -backend=interp -jsonout BENCH_01.json all >/dev/null
 	@cat BENCH_01.json
 
-# Compare a fresh quick-scale run against the committed BENCH_01.json wall
+# Compare a fresh quick-scale run against the committed BENCH_02.json wall
 # clock baseline; fails on regression past tolerance (BENCH_GATE_TOL_PCT,
 # default 25%). Non-blocking in CI — wall clock is noisy.
 bench-gate:

@@ -40,7 +40,7 @@ func load(path string) (map[string]float64, []string, error) {
 }
 
 func main() {
-	baseline := flag.String("baseline", "BENCH_01.json", "committed baseline JSON")
+	baseline := flag.String("baseline", "BENCH_02.json", "committed baseline JSON")
 	current := flag.String("current", "", "fresh fluidibench -jsonout JSON")
 	tolPct := flag.Float64("tol", 25, "allowed wall-clock regression, percent")
 	minSec := flag.Float64("min", 0.05, "ignore experiments faster than this baseline wall clock (too noisy to gate)")

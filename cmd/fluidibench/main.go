@@ -40,11 +40,19 @@ func main() {
 	jsonOut := flag.String("jsonout", "", "write per-table wall-clock times as JSON to this file")
 	traceOut := flag.String("trace", "", "run one benchmark under FluidiCL and write a Chrome trace_event JSON file here")
 	dist := flag.Bool("dist", false, "print the per-benchmark CPU/GPU work-distribution table (paper §5.5)")
+	backend := flag.String("backend", "", "work-group execution backend: interp or closure (default closure, or $FLUIDICL_BACKEND)")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
 
 	vm.SetWorkers(*workers)
+	if *backend != "" {
+		b, err := vm.ParseBackend(*backend)
+		if err != nil {
+			fatal(err)
+		}
+		vm.SetBackend(b)
+	}
 
 	if *traceOut != "" {
 		if len(args) != 1 {
@@ -171,6 +179,12 @@ type wallEntry struct {
 	BytesH2D          int64   `json:"bytes_h2d"`
 	BytesD2H          int64   `json:"bytes_d2h"`
 	OverlapFrac       float64 `json:"overlap_frac"`
+	// VM backend activity: work-groups per execution engine and static
+	// superinstruction coverage of the kernels compiled during the run.
+	ClosureWGs  int64 `json:"closure_wgs"`
+	InterpWGs   int64 `json:"interp_wgs"`
+	FusedInstrs int64 `json:"fused_instrs"`
+	TotalInstrs int64 `json:"total_instrs"`
 }
 
 func newWallEntry(id string, wall float64, c core.Counters, s trace.GlobalSummary) wallEntry {
@@ -191,6 +205,10 @@ func newWallEntry(id string, wall float64, c core.Counters, s trace.GlobalSummar
 		BytesH2D:          s.BytesH2D,
 		BytesD2H:          s.BytesD2H,
 		OverlapFrac:       s.OverlapFrac(),
+		ClosureWGs:        c.ClosureWGs,
+		InterpWGs:         c.InterpWGs,
+		FusedInstrs:       c.FusedInstrs,
+		TotalInstrs:       c.TotalInstrs,
 	}
 }
 
@@ -378,7 +396,7 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `fluidibench — regenerate the FluidiCL paper's tables and figures
 
 usage:
-  fluidibench [-csv] [-quick] [-workers N] [-parallel N] [-jsonout F] <experiment>|all
+  fluidibench [-csv] [-quick] [-workers N] [-parallel N] [-backend interp|closure] [-jsonout F] <experiment>|all
   fluidibench -trace out.json [-quick] <benchmark>   # Chrome trace_event JSON (chrome://tracing)
   fluidibench -dist [-quick] [-csv]   # CPU/GPU work-distribution table (paper §5.5)
   fluidibench run <benchmark>     # one benchmark under every strategy

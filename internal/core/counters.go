@@ -1,6 +1,10 @@
 package core
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"fluidicl/internal/vm"
+)
 
 // Counters tallies the transfer and merge work the runtime elided because
 // the static kernel analyzer (package analysis) proved it unnecessary. All
@@ -19,6 +23,15 @@ type Counters struct {
 	// MergeWordsElided counts 4-byte words excluded from merge-kernel
 	// launches by the analyzer-narrowed merge window.
 	MergeWordsElided int64
+
+	// VM backend activity (process-global, from vm.BackendSnapshot; only
+	// CounterSnapshot fills these). ClosureWGs/InterpWGs count work-group
+	// executions per engine; FusedInstrs/TotalInstrs report static
+	// superinstruction coverage across kernel compilations.
+	ClosureWGs  int64
+	InterpWGs   int64
+	FusedInstrs int64
+	TotalInstrs int64
 }
 
 // globalCounters accumulates across every Runtime in the process, so
@@ -26,13 +39,19 @@ type Counters struct {
 // runtime handles through.
 var globalCounters Counters
 
-// CounterSnapshot returns the process-wide elision counters.
+// CounterSnapshot returns the process-wide elision counters plus the VM
+// backend activity counters.
 func CounterSnapshot() Counters {
+	b := vm.BackendSnapshot()
 	return Counters{
 		UploadsSkipped:    atomic.LoadInt64(&globalCounters.UploadsSkipped),
 		PrimeCopiesElided: atomic.LoadInt64(&globalCounters.PrimeCopiesElided),
 		ShipBytesSkipped:  atomic.LoadInt64(&globalCounters.ShipBytesSkipped),
 		MergeWordsElided:  atomic.LoadInt64(&globalCounters.MergeWordsElided),
+		ClosureWGs:        b.ClosureWGs,
+		InterpWGs:         b.InterpWGs,
+		FusedInstrs:       b.FusedInstrs,
+		TotalInstrs:       b.TotalInstrs,
 	}
 }
 
@@ -43,6 +62,10 @@ func (c Counters) Sub(o Counters) Counters {
 		PrimeCopiesElided: c.PrimeCopiesElided - o.PrimeCopiesElided,
 		ShipBytesSkipped:  c.ShipBytesSkipped - o.ShipBytesSkipped,
 		MergeWordsElided:  c.MergeWordsElided - o.MergeWordsElided,
+		ClosureWGs:        c.ClosureWGs - o.ClosureWGs,
+		InterpWGs:         c.InterpWGs - o.InterpWGs,
+		FusedInstrs:       c.FusedInstrs - o.FusedInstrs,
+		TotalInstrs:       c.TotalInstrs - o.TotalInstrs,
 	}
 }
 

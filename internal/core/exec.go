@@ -295,6 +295,7 @@ func (r *Runtime) EnqueueNDRangeKernel(p *sim.Proc, k *Kernel, nd vm.NDRange, ar
 	gpuDone, gpuRes := r.gpuApp.EnqueueNDRangeKernel(k.gpu, nd, gpuArgs, ocl.LaunchOpts{
 		Abort:    slog,
 		MidAbort: !r.opts.NoAbortInLoops,
+		Backend:  r.opts.Backend,
 	})
 
 	// CPU scheduler thread (§4.2, §5.1).
@@ -429,7 +430,7 @@ func (r *Runtime) EnqueueNDRangeKernel(p *sim.Proc, k *Kernel, nd vm.NDRange, ar
 					ocl.BufArg(sc.cpuCopy), ocl.BufArg(sc.buf.gpuBuf), ocl.BufArg(sc.orig),
 					ocl.IntArg(int64(mergeHi)), ocl.IntArg(int64(mergeLo)),
 				}
-				ev, _ := r.gpuApp.EnqueueNDRangeKernel(r.mergeK, vm.NewNDRange1D(global, local), margs, ocl.LaunchOpts{})
+				ev, _ := r.gpuApp.EnqueueNDRangeKernel(r.mergeK, vm.NewNDRange1D(global, local), margs, ocl.LaunchOpts{Backend: r.opts.Backend})
 				mergeEvents = append(mergeEvents, ev)
 			}
 		}
@@ -585,7 +586,8 @@ func (r *Runtime) runCPUScheduler(sp *sim.Proc, k *Kernel, kid int, nd vm.NDRang
 			// Work-group splitting needs the analyzer's blessing on top of
 			// the user knob: a divergent barrier or a race finding makes
 			// splitting one group across threads unsafe.
-			Split: !r.opts.NoWorkGroupSplit && k.splitOK,
+			Split:   !r.opts.NoWorkGroupSplit && k.splitOK,
+			Backend: r.opts.Backend,
 		})
 		sp.Wait(ev)
 		if res.Err != nil {

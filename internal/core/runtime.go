@@ -30,6 +30,7 @@ import (
 	"fluidicl/internal/ocl"
 	"fluidicl/internal/passes"
 	"fluidicl/internal/sim"
+	"fluidicl/internal/vm"
 )
 
 // Options configures the runtime. The zero value selects the paper's
@@ -55,6 +56,11 @@ type Options struct {
 	// automatic selection of the fastest (§6.6). Off by default, as in the
 	// paper's headline results.
 	OnlineProfiling bool
+	// Backend selects the VM execution engine for every launch this runtime
+	// issues (vm.BackendAuto uses the process default). Both backends
+	// produce identical stats and therefore identical virtual time; the
+	// knob exists for wall-clock comparison and fallback testing.
+	Backend vm.Backend
 }
 
 func (o Options) withDefaults() Options {

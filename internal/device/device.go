@@ -292,9 +292,13 @@ type Launch struct {
 	// work-groups can stop when a status update lands mid-execution.
 	MidAbort bool
 	// Split allows the CPU work-group splitting optimization.
-	Split  bool
-	Done   *sim.Event
-	Result *LaunchResult
+	Split bool
+	// Backend selects the VM execution engine (interpreter or threaded
+	// closures); both produce identical stats and therefore identical
+	// virtual time.
+	Backend vm.Backend
+	Done    *sim.Event
+	Result  *LaunchResult
 	// Label names the launch in traces (normally the kernel name).
 	Label string
 

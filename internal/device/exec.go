@@ -94,8 +94,9 @@ func (d *Device) runLaunch(p *sim.Proc, l *Launch) {
 	// list aliases (see vm.NewLaunchEngine).
 	var eng *vm.LaunchEngine
 	if w := vm.Workers(); w > 1 && n >= 4 {
-		eng, _ = vm.NewLaunchEngine(l.Kernel, l.ND, l.Args, vm.ExecOpts{}, w, d.MemEpoch)
+		eng, _ = vm.NewLaunchEngine(l.Kernel, l.ND, l.Args, vm.ExecOpts{Backend: l.Backend}, w, d.MemEpoch)
 	}
+	defer eng.Release()
 	argsChecked := eng != nil
 
 	settle := func() {
@@ -208,7 +209,7 @@ func (d *Device) runLaunch(p *sim.Proc, l *Launch) {
 			// the deferred log holds exactly those.
 			eng.Commit(idx, undo)
 		} else {
-			opts := vm.ExecOpts{Undo: undo, ArgsChecked: true}
+			opts := vm.ExecOpts{Undo: undo, ArgsChecked: true, Backend: l.Backend}
 			st, err = l.Kernel.ExecWorkGroup(l.ND, group, l.Args, opts)
 		}
 		if err != nil {

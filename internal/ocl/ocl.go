@@ -285,6 +285,9 @@ type LaunchOpts struct {
 	Abort    device.AbortQuery
 	MidAbort bool
 	Split    bool
+	// Backend selects the VM execution engine (vm.BackendAuto uses the
+	// process default).
+	Backend vm.Backend
 }
 
 // EnqueueNDRangeKernel enqueues a kernel execution
@@ -298,6 +301,7 @@ func (q *CommandQueue) EnqueueNDRangeKernel(k *Kernel, nd vm.NDRange, args []Arg
 		Abort:    opts.Abort,
 		MidAbort: opts.MidAbort,
 		Split:    opts.Split,
+		Backend:  opts.Backend,
 		Label:    k.Name,
 	}
 	q.q.Enqueue(l)

@@ -1,0 +1,59 @@
+// Acceptance test for the closure backend (external package: polybench
+// imports sched). The two work-group execution backends must be
+// observationally identical through the whole stack: same output buffers,
+// same virtual time, and byte-identical Chrome traces on every quick-scale
+// Polybench experiment.
+package sched_test
+
+import (
+	"bytes"
+	"testing"
+
+	"fluidicl/internal/core"
+	"fluidicl/internal/polybench"
+	"fluidicl/internal/sched"
+	"fluidicl/internal/trace"
+	"fluidicl/internal/vm"
+)
+
+func TestBackendParityFluidiCL(t *testing.T) {
+	for _, b := range polybench.AllQuick() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			type runOut struct {
+				res   *sched.Result
+				chrom []byte
+			}
+			run := func(be vm.Backend) runOut {
+				rec := trace.NewRecorder()
+				res, err := sched.RunFluidiCLTraced(sched.DefaultMachine(), b.App,
+					core.Options{Backend: be}, rec)
+				if err != nil {
+					t.Fatalf("%v backend: %v", be, err)
+				}
+				var buf bytes.Buffer
+				if err := rec.WriteChrome(&buf); err != nil {
+					t.Fatal(err)
+				}
+				return runOut{res, buf.Bytes()}
+			}
+			ri := run(vm.BackendInterp)
+			rc := run(vm.BackendClosure)
+			if ri.res.Time != rc.res.Time {
+				t.Errorf("virtual time diverges: interp=%v closure=%v", ri.res.Time, rc.res.Time)
+			}
+			for name, want := range ri.res.Outputs {
+				if got := rc.res.Outputs[name]; !bytes.Equal(got, want) {
+					t.Errorf("output %q differs between backends", name)
+				}
+			}
+			if err := b.Verify(rc.res.Outputs); err != nil {
+				t.Errorf("closure backend output wrong: %v", err)
+			}
+			if !bytes.Equal(ri.chrom, rc.chrom) {
+				t.Errorf("Chrome traces differ between backends (%d vs %d bytes)",
+					len(ri.chrom), len(rc.chrom))
+			}
+		})
+	}
+}

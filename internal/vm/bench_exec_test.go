@@ -1,0 +1,98 @@
+// Backend microbenchmarks over real Polybench kernels (external test
+// package: polybench imports sched, which imports vm, so these cannot live
+// in package vm).
+package vm_test
+
+import (
+	"testing"
+
+	"fluidicl/internal/clc"
+	"fluidicl/internal/polybench"
+	"fluidicl/internal/sched"
+	"fluidicl/internal/vm"
+)
+
+// benchLaunch is one compiled kernel enqueue with its arguments resolved
+// against a concrete buffer set.
+type benchLaunch struct {
+	k    *vm.Kernel
+	nd   vm.NDRange
+	args []vm.Arg
+}
+
+// benchApp lowers a quick-scale Polybench app to direct vm.ExecLaunch calls,
+// bypassing the device/scheduler layers so the benchmark isolates work-group
+// execution itself.
+func benchApp(b *testing.B, name string) []benchLaunch {
+	b.Helper()
+	bm, err := polybench.ByNameQuick(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	app := bm.App
+	bufs := make(map[string][]byte, len(app.Buffers))
+	for bn, size := range app.Buffers {
+		buf := make([]byte, size)
+		copy(buf, app.Inputs[bn])
+		bufs[bn] = buf
+	}
+	kernels := make(map[string]*vm.Kernel)
+	var launches []benchLaunch
+	for _, l := range app.Launches {
+		k, ok := kernels[l.Kernel]
+		if !ok {
+			ki, err := clc.FindKernelInfo(app.Source, l.Kernel)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if k, err = vm.Compile(ki); err != nil {
+				b.Fatal(err)
+			}
+			kernels[l.Kernel] = k
+		}
+		args := make([]vm.Arg, len(l.Args))
+		for i, a := range l.Args {
+			switch a.Kind {
+			case sched.ArgBuf:
+				args[i] = vm.BufArg(bufs[a.Name])
+			case sched.ArgInt:
+				args[i] = vm.IntArg(a.I)
+			default:
+				args[i] = vm.FloatArg(a.F)
+			}
+		}
+		launches = append(launches, benchLaunch{k: k, nd: l.ND, args: args})
+	}
+	return launches
+}
+
+// BenchmarkExecLaunch runs quick-scale Polybench apps end to end on each
+// backend. Sequential workers so the numbers measure the execution engine,
+// not goroutine scheduling; the acceptance bar is closure >= 1.5x interp on
+// at least two kernels.
+func BenchmarkExecLaunch(b *testing.B) {
+	vm.SetWorkers(1)
+	defer vm.SetWorkers(0)
+	for _, name := range []string{"SYRK", "GESUMMV", "2MM"} {
+		launches := benchApp(b, name)
+		for _, be := range []vm.Backend{vm.BackendInterp, vm.BackendClosure} {
+			b.Run(name+"/"+be.String(), func(b *testing.B) {
+				b.ReportAllocs()
+				// Warm the scratch/engine pools before measuring.
+				for _, l := range launches {
+					if _, err := l.k.ExecLaunch(l.nd, l.args, vm.ExecOpts{Backend: be}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for _, l := range launches {
+						if _, err := l.k.ExecLaunch(l.nd, l.args, vm.ExecOpts{Backend: be}); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,651 @@
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"sync/atomic"
+)
+
+// ---------------------------------------------------------------------------
+// Backend knob
+// ---------------------------------------------------------------------------
+
+// Backend selects the work-group execution engine. Both backends execute the
+// same bytecode with identical semantics — byte-identical buffers, identical
+// Stats (and therefore identical virtual time) — and differ only in host
+// wall-clock cost.
+type Backend int32
+
+// Backends.
+const (
+	// BackendAuto resolves to the process default (see SetBackend and the
+	// FLUIDICL_BACKEND environment variable).
+	BackendAuto Backend = iota
+	// BackendInterp is the switch-dispatch bytecode interpreter.
+	BackendInterp
+	// BackendClosure is the threaded-code engine: at compile time each
+	// kernel's bytecode is lowered to an array of Go closures, one per basic
+	// block, with common sequences fused into superinstructions (fuse.go).
+	BackendClosure
+)
+
+// String returns the flag spelling of b.
+func (b Backend) String() string {
+	switch b {
+	case BackendInterp:
+		return "interp"
+	case BackendClosure:
+		return "closure"
+	default:
+		return "auto"
+	}
+}
+
+// ParseBackend parses a backend name as accepted by the fluidibench
+// -backend flag and the FLUIDICL_BACKEND environment variable.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "interp", "interpreter":
+		return BackendInterp, nil
+	case "closure", "closures":
+		return BackendClosure, nil
+	case "auto", "":
+		return BackendAuto, nil
+	}
+	return BackendAuto, fmt.Errorf("vm: unknown backend %q (want interp or closure)", s)
+}
+
+// defaultBackend holds the process-wide backend (BackendInterp or
+// BackendClosure, never BackendAuto).
+var defaultBackend atomic.Int32
+
+func init() {
+	b := BackendClosure
+	if p, err := ParseBackend(os.Getenv("FLUIDICL_BACKEND")); err == nil && p != BackendAuto {
+		b = p
+	}
+	defaultBackend.Store(int32(b))
+}
+
+// DefaultBackend returns the process-wide backend that BackendAuto resolves
+// to. The default is BackendClosure, overridable with FLUIDICL_BACKEND.
+func DefaultBackend() Backend {
+	return Backend(defaultBackend.Load())
+}
+
+// SetBackend sets the process-wide default backend. BackendAuto resets to
+// the built-in default (closure). Safe to call concurrently; executions
+// already in progress keep the backend they resolved at entry.
+func SetBackend(b Backend) {
+	if b == BackendAuto {
+		b = BackendClosure
+	}
+	defaultBackend.Store(int32(b))
+}
+
+// resolve maps BackendAuto to the process default.
+func (b Backend) resolve() Backend {
+	if b == BackendAuto {
+		return DefaultBackend()
+	}
+	return b
+}
+
+// ---------------------------------------------------------------------------
+// Backend counters
+// ---------------------------------------------------------------------------
+
+// backendCtr tallies process-wide backend activity: how many work-groups ran
+// on each engine, and the static superinstruction coverage of every compiled
+// kernel. Harness tools (fluidibench -jsonout) surface these through
+// core.CounterSnapshot.
+var backendCtr struct {
+	closureWGs  atomic.Int64
+	interpWGs   atomic.Int64
+	fusedInstrs atomic.Int64
+	totalInstrs atomic.Int64
+}
+
+// BackendCounters is a snapshot of process-wide backend activity.
+type BackendCounters struct {
+	// ClosureWGs / InterpWGs count work-group executions per engine.
+	ClosureWGs int64
+	InterpWGs  int64
+	// FusedInstrs / TotalInstrs count static instructions covered by fused
+	// superinstructions vs all compiled instructions, across every kernel
+	// compilation in the process.
+	FusedInstrs int64
+	TotalInstrs int64
+}
+
+// BackendSnapshot returns the process-wide backend counters.
+func BackendSnapshot() BackendCounters {
+	return BackendCounters{
+		ClosureWGs:  backendCtr.closureWGs.Load(),
+		InterpWGs:   backendCtr.interpWGs.Load(),
+		FusedInstrs: backendCtr.fusedInstrs.Load(),
+		TotalInstrs: backendCtr.totalInstrs.Load(),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Closure machine
+// ---------------------------------------------------------------------------
+
+// Driver sentinels returned by block closures in place of a next pc.
+const (
+	pcRET     = -1 // work-item returned
+	pcBARRIER = -2 // work-item reached a barrier (resume pc already stored)
+	pcERR     = -3 // execution failed (cmach.err holds the error)
+)
+
+// closFn executes one basic block (or fused run) and returns the next pc, or
+// a sentinel.
+type closFn func(m *cmach) int
+
+// stepFn executes one non-control-flow instruction (or one fused
+// superinstruction). It returns false when execution failed; the error is in
+// cmach.err.
+type stepFn func(m *cmach) bool
+
+// cmach is the closure backend's execution context: everything the
+// interpreter's run() kept in locals, hoisted into a struct the compiled
+// closures share. One cmach serves a whole work-group; per-work-item fields
+// (w, iregs, fregs, lid, firstInWarp) are re-pointed per run.
+type cmach struct {
+	k     *Kernel
+	iregs []int64
+	fregs []float64
+	w     *wiState
+
+	nd     NDRange
+	group  [3]int
+	lid    [3]int
+	args   []Arg
+	locals [][]byte
+	tr     *memTracker
+	// stat accumulates the group's Stats in place; st points at it (kept as
+	// a pointer so fused steps share the interpreter's *Stats helpers). The
+	// value is copied out before release.
+	stat Stats
+	st   *Stats
+	def  *DeferredWrites
+	undo *UndoLog
+
+	firstInWarp bool
+	steps       int64
+	maxSteps    int64
+	err         error
+}
+
+// release drops references to caller-owned memory so a pooled cmach never
+// retains buffers or stats beyond the work-group that used it.
+func (m *cmach) release() {
+	m.iregs, m.fregs, m.w = nil, nil, nil
+	m.args, m.locals, m.tr, m.st = nil, nil, nil, nil
+	m.def, m.undo, m.err = nil, nil, nil
+}
+
+// runClos executes one work-item through the kernel's compiled closures
+// until RET or BARRIER, with exactly the semantics of (*Kernel).run.
+func (k *Kernel) runClos(m *cmach, w *wiState) (atBarrier bool, err error) {
+	if w.pc == 0 {
+		for i, p := range k.Params {
+			switch p.Kind {
+			case ArgInt:
+				w.iregs[p.IReg] = m.args[i].I
+			case ArgFloat:
+				w.fregs[p.FReg] = float64(float32(m.args[i].F))
+			}
+		}
+	}
+	m.w = w
+	m.iregs = w.iregs
+	m.fregs = w.fregs
+	m.steps = 0
+	m.err = nil
+	clos := k.clos
+	pc := w.pc
+	for pc >= 0 {
+		pc = clos[pc](m)
+	}
+	switch pc {
+	case pcRET:
+		return false, nil
+	case pcBARRIER:
+		return true, nil
+	default:
+		return false, m.err
+	}
+}
+
+// cdim mirrors the interpreter's dimVal: out-of-range dimensions read 0.
+func cdim(vals [3]int, d int64) int64 {
+	if d < 0 || d > 2 {
+		return 0
+	}
+	return int64(vals[d])
+}
+
+// ---------------------------------------------------------------------------
+// Per-instruction step builders
+// ---------------------------------------------------------------------------
+
+// buildStep compiles the instruction at pc into a stepFn mirroring the
+// interpreter's switch case for it, with operands decoded once at build
+// time. Control-flow instructions (JMP/JZ/JNZ/BARRIER/RET) are block
+// terminators, not steps, and return nil; so does opNop (no semantics — the
+// block's instruction count still covers its step budget).
+func (k *Kernel) buildStep(pc int) stepFn {
+	in := k.Code[pc]
+	a, b, c := in.A, in.B, in.C
+	switch in.Op {
+	case opLDI:
+		imm := in.IImm
+		return func(m *cmach) bool { m.iregs[a] = imm; return true }
+	case opLDF:
+		imm := in.FImm
+		return func(m *cmach) bool { m.fregs[a] = imm; return true }
+	case opIMOV:
+		return func(m *cmach) bool { m.iregs[a] = m.iregs[b]; return true }
+	case opFMOV:
+		return func(m *cmach) bool { m.fregs[a] = m.fregs[b]; return true }
+	case opIADD:
+		return func(m *cmach) bool { m.iregs[a] = m.iregs[b] + m.iregs[c]; m.st.IntOps++; return true }
+	case opISUB:
+		return func(m *cmach) bool { m.iregs[a] = m.iregs[b] - m.iregs[c]; m.st.IntOps++; return true }
+	case opIMUL:
+		return func(m *cmach) bool { m.iregs[a] = m.iregs[b] * m.iregs[c]; m.st.IntOps++; return true }
+	case opIDIV:
+		return func(m *cmach) bool {
+			if m.iregs[c] == 0 {
+				m.err = &execError{m.k.Name, pc, "integer division by zero"}
+				return false
+			}
+			m.iregs[a] = m.iregs[b] / m.iregs[c]
+			m.st.IntOps++
+			return true
+		}
+	case opIMOD:
+		return func(m *cmach) bool {
+			if m.iregs[c] == 0 {
+				m.err = &execError{m.k.Name, pc, "integer modulo by zero"}
+				return false
+			}
+			m.iregs[a] = m.iregs[b] % m.iregs[c]
+			m.st.IntOps++
+			return true
+		}
+	case opINEG:
+		return func(m *cmach) bool { m.iregs[a] = -m.iregs[b]; m.st.IntOps++; return true }
+	case opFADD:
+		return func(m *cmach) bool {
+			m.fregs[a] = float64(float32(m.fregs[b]) + float32(m.fregs[c]))
+			m.st.FloatOps++
+			return true
+		}
+	case opFSUB:
+		return func(m *cmach) bool {
+			m.fregs[a] = float64(float32(m.fregs[b]) - float32(m.fregs[c]))
+			m.st.FloatOps++
+			return true
+		}
+	case opFMUL:
+		return func(m *cmach) bool {
+			m.fregs[a] = float64(float32(m.fregs[b]) * float32(m.fregs[c]))
+			m.st.FloatOps++
+			return true
+		}
+	case opFDIV:
+		return func(m *cmach) bool {
+			m.fregs[a] = float64(float32(m.fregs[b]) / float32(m.fregs[c]))
+			m.st.FloatOps++
+			return true
+		}
+	case opFNEG:
+		return func(m *cmach) bool { m.fregs[a] = -m.fregs[b]; m.st.FloatOps++; return true }
+	case opI2F:
+		return func(m *cmach) bool { m.fregs[a] = float64(float32(m.iregs[b])); m.st.IntOps++; return true }
+	case opF2I:
+		return func(m *cmach) bool {
+			f := m.fregs[b]
+			if math.IsNaN(f) {
+				f = 0
+			}
+			m.iregs[a] = int64(f) // C truncation toward zero
+			m.st.IntOps++
+			return true
+		}
+	case opILT, opILE, opIGT, opIGE, opIEQ, opINE:
+		cf := intCmpFn(in.Op)
+		return func(m *cmach) bool {
+			m.iregs[a] = b2i(cf(m.iregs[b], m.iregs[c]))
+			m.st.IntOps++
+			return true
+		}
+	case opFLT, opFLE, opFGT, opFGE, opFEQ, opFNE:
+		cf := floatCmpFn(in.Op)
+		return func(m *cmach) bool {
+			m.iregs[a] = b2i(cf(m.fregs[b], m.fregs[c]))
+			m.st.FloatOps++
+			return true
+		}
+	case opNOTB:
+		return func(m *cmach) bool { m.iregs[a] = b2i(m.iregs[b] == 0); m.st.IntOps++; return true }
+	case opLDGF:
+		return k.stepLoadGlobal(pc, in, true)
+	case opLDGI:
+		return k.stepLoadGlobal(pc, in, false)
+	case opSTGF:
+		return k.stepStoreGlobal(pc, in, true)
+	case opSTGI:
+		return k.stepStoreGlobal(pc, in, false)
+	case opLDLF, opLDLI, opSTLF, opSTLI:
+		return k.stepSlab(pc, in, false)
+	case opLDPF, opLDPI, opSTPF, opSTPI:
+		return k.stepSlab(pc, in, true)
+	case opGID:
+		return func(m *cmach) bool {
+			d := m.iregs[b]
+			m.iregs[a] = cdim(m.group, d)*cdim(m.nd.LocalSize, d) + cdim(m.lid, d)
+			m.st.IntOps++
+			return true
+		}
+	case opLID:
+		return func(m *cmach) bool { m.iregs[a] = cdim(m.lid, m.iregs[b]); m.st.IntOps++; return true }
+	case opGRP:
+		return func(m *cmach) bool { m.iregs[a] = cdim(m.group, m.iregs[b]); m.st.IntOps++; return true }
+	case opNGR:
+		return func(m *cmach) bool {
+			d := m.iregs[b]
+			if d < 0 || d > 2 {
+				m.iregs[a] = 1
+			} else {
+				m.iregs[a] = int64(m.nd.NumGroups[d])
+			}
+			m.st.IntOps++
+			return true
+		}
+	case opLSZ:
+		return func(m *cmach) bool {
+			d := m.iregs[b]
+			if d < 0 || d > 2 {
+				m.iregs[a] = 1
+			} else {
+				m.iregs[a] = int64(m.nd.LocalSize[d])
+			}
+			m.st.IntOps++
+			return true
+		}
+	case opGSZ:
+		return func(m *cmach) bool {
+			d := m.iregs[b]
+			if d < 0 || d > 2 {
+				m.iregs[a] = 1
+			} else {
+				m.iregs[a] = int64(m.nd.NumGroups[d] * m.nd.LocalSize[d])
+			}
+			m.st.IntOps++
+			return true
+		}
+	case opGOFF:
+		return func(m *cmach) bool { m.iregs[a] = 0; return true }
+	case opWDIM:
+		return func(m *cmach) bool { m.iregs[a] = int64(m.nd.Dims); return true }
+	case opSQRT:
+		return func(m *cmach) bool {
+			m.fregs[a] = float64(float32(math.Sqrt(m.fregs[b])))
+			m.st.SpecialOps++
+			return true
+		}
+	case opFABS:
+		return func(m *cmach) bool { m.fregs[a] = math.Abs(m.fregs[b]); m.st.SpecialOps++; return true }
+	case opEXP:
+		return func(m *cmach) bool {
+			m.fregs[a] = float64(float32(math.Exp(m.fregs[b])))
+			m.st.SpecialOps++
+			return true
+		}
+	case opLOG:
+		return func(m *cmach) bool {
+			m.fregs[a] = float64(float32(math.Log(m.fregs[b])))
+			m.st.SpecialOps++
+			return true
+		}
+	case opFLOOR:
+		return func(m *cmach) bool { m.fregs[a] = math.Floor(m.fregs[b]); m.st.SpecialOps++; return true }
+	case opCEIL:
+		return func(m *cmach) bool { m.fregs[a] = math.Ceil(m.fregs[b]); m.st.SpecialOps++; return true }
+	case opPOW:
+		return func(m *cmach) bool {
+			m.fregs[a] = float64(float32(math.Pow(m.fregs[b], m.fregs[c])))
+			m.st.SpecialOps++
+			return true
+		}
+	case opFMIN:
+		return func(m *cmach) bool { m.fregs[a] = math.Min(m.fregs[b], m.fregs[c]); m.st.FloatOps++; return true }
+	case opFMAX:
+		return func(m *cmach) bool { m.fregs[a] = math.Max(m.fregs[b], m.fregs[c]); m.st.FloatOps++; return true }
+	case opIMIN:
+		return func(m *cmach) bool {
+			if m.iregs[b] < m.iregs[c] {
+				m.iregs[a] = m.iregs[b]
+			} else {
+				m.iregs[a] = m.iregs[c]
+			}
+			m.st.IntOps++
+			return true
+		}
+	case opIMAX:
+		return func(m *cmach) bool {
+			if m.iregs[b] > m.iregs[c] {
+				m.iregs[a] = m.iregs[b]
+			} else {
+				m.iregs[a] = m.iregs[c]
+			}
+			m.st.IntOps++
+			return true
+		}
+	case opIABS:
+		return func(m *cmach) bool {
+			v := m.iregs[b]
+			if v < 0 {
+				v = -v
+			}
+			m.iregs[a] = v
+			m.st.IntOps++
+			return true
+		}
+	}
+	return nil
+}
+
+func intCmpFn(op Op) func(x, y int64) bool {
+	switch op {
+	case opILT:
+		return func(x, y int64) bool { return x < y }
+	case opILE:
+		return func(x, y int64) bool { return x <= y }
+	case opIGT:
+		return func(x, y int64) bool { return x > y }
+	case opIGE:
+		return func(x, y int64) bool { return x >= y }
+	case opIEQ:
+		return func(x, y int64) bool { return x == y }
+	default:
+		return func(x, y int64) bool { return x != y }
+	}
+}
+
+func floatCmpFn(op Op) func(x, y float64) bool {
+	switch op {
+	case opFLT:
+		return func(x, y float64) bool { return x < y }
+	case opFLE:
+		return func(x, y float64) bool { return x <= y }
+	case opFGT:
+		return func(x, y float64) bool { return x > y }
+	case opFGE:
+		return func(x, y float64) bool { return x >= y }
+	case opFEQ:
+		return func(x, y float64) bool { return x == y }
+	default:
+		return func(x, y float64) bool { return x != y }
+	}
+}
+
+// stepLoadGlobal compiles opLDGF/opLDGI.
+func (k *Kernel) stepLoadGlobal(pc int, in Instr, isF bool) stepFn {
+	a, slot, c, memID := in.A, in.B, in.C, in.D
+	name := k.Params[slot].Name
+	if isF {
+		return func(m *cmach) bool {
+			buf := m.args[slot].Buf
+			off, err := byteOff(m.iregs[c], len(buf))
+			if err != nil {
+				m.err = &execError{m.k.Name, pc, fmt.Sprintf("load %s: %v", name, err)}
+				return false
+			}
+			bits := binary.LittleEndian.Uint32(buf[off:])
+			if d := m.def; d != nil {
+				d.noteRead(slot, off)
+				if v, ok := d.lookup(slot, off); ok {
+					bits = v
+				}
+			}
+			m.fregs[a] = float64(math.Float32frombits(bits))
+			m.st.noteGlobalRead(slot)
+			m.st.GlobalLoads++
+			m.st.GlobalLoadBytes += 4
+			m.tr.access(memID, off, m.firstInWarp, m.st)
+			return true
+		}
+	}
+	return func(m *cmach) bool {
+		buf := m.args[slot].Buf
+		off, err := byteOff(m.iregs[c], len(buf))
+		if err != nil {
+			m.err = &execError{m.k.Name, pc, fmt.Sprintf("load %s: %v", name, err)}
+			return false
+		}
+		bits := binary.LittleEndian.Uint32(buf[off:])
+		if d := m.def; d != nil {
+			d.noteRead(slot, off)
+			if v, ok := d.lookup(slot, off); ok {
+				bits = v
+			}
+		}
+		m.iregs[a] = int64(int32(bits))
+		m.st.noteGlobalRead(slot)
+		m.st.GlobalLoads++
+		m.st.GlobalLoadBytes += 4
+		m.tr.access(memID, off, m.firstInWarp, m.st)
+		return true
+	}
+}
+
+// stepStoreGlobal compiles opSTGF/opSTGI, including the deferred-write and
+// undo-log paths.
+func (k *Kernel) stepStoreGlobal(pc int, in Instr, isF bool) stepFn {
+	a, slot, c, memID := in.A, in.B, in.C, in.D
+	name := k.Params[slot].Name
+	return func(m *cmach) bool {
+		buf := m.args[slot].Buf
+		off, err := byteOff(m.iregs[c], len(buf))
+		if err != nil {
+			m.err = &execError{m.k.Name, pc, fmt.Sprintf("store %s: %v", name, err)}
+			return false
+		}
+		var bits uint32
+		if isF {
+			bits = math.Float32bits(float32(m.fregs[a]))
+		} else {
+			bits = uint32(int32(m.iregs[a]))
+		}
+		if d := m.def; d != nil {
+			d.store(slot, off, bits)
+		} else {
+			if u := m.undo; u != nil {
+				var old [4]byte
+				copy(old[:], buf[off:off+4])
+				u.recs = append(u.recs, UndoRecord{Buf: buf, Off: int(off), Old: old})
+			}
+			binary.LittleEndian.PutUint32(buf[off:], bits)
+		}
+		m.st.noteGlobalWrite(slot, off)
+		m.st.GlobalStores++
+		m.st.GlobalStoreBytes += 4
+		m.tr.access(memID, off, m.firstInWarp, m.st)
+		return true
+	}
+}
+
+// stepSlab compiles local-array and private-array loads and stores.
+func (k *Kernel) stepSlab(pc int, in Instr, priv bool) stepFn {
+	a, slot, c := in.A, in.B, in.C
+	space := "local"
+	arrs := k.LocalArrs
+	if priv {
+		space = "private"
+		arrs = k.PrivArrs
+	}
+	name := arrs[slot].Name
+	slab := func(m *cmach) []byte {
+		if priv {
+			return m.w.priv[slot]
+		}
+		return m.locals[slot]
+	}
+	fail := func(m *cmach, what string, err error) bool {
+		m.err = &execError{m.k.Name, pc, fmt.Sprintf("%s %s %s: %v", space, what, name, err)}
+		return false
+	}
+	switch in.Op {
+	case opLDLF, opLDPF:
+		return func(m *cmach) bool {
+			buf := slab(m)
+			off, err := byteOff(m.iregs[c], len(buf))
+			if err != nil {
+				return fail(m, "load", err)
+			}
+			m.fregs[a] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[off:])))
+			m.st.LocalAccesses++
+			return true
+		}
+	case opLDLI, opLDPI:
+		return func(m *cmach) bool {
+			buf := slab(m)
+			off, err := byteOff(m.iregs[c], len(buf))
+			if err != nil {
+				return fail(m, "load", err)
+			}
+			m.iregs[a] = int64(int32(binary.LittleEndian.Uint32(buf[off:])))
+			m.st.LocalAccesses++
+			return true
+		}
+	case opSTLF, opSTPF:
+		return func(m *cmach) bool {
+			buf := slab(m)
+			off, err := byteOff(m.iregs[c], len(buf))
+			if err != nil {
+				return fail(m, "store", err)
+			}
+			binary.LittleEndian.PutUint32(buf[off:], math.Float32bits(float32(m.fregs[a])))
+			m.st.LocalAccesses++
+			return true
+		}
+	default: // opSTLI, opSTPI
+		return func(m *cmach) bool {
+			buf := slab(m)
+			off, err := byteOff(m.iregs[c], len(buf))
+			if err != nil {
+				return fail(m, "store", err)
+			}
+			binary.LittleEndian.PutUint32(buf[off:], uint32(int32(m.iregs[a])))
+			m.st.LocalAccesses++
+			return true
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package vm
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fusedTestSrc is a SYRK-shaped kernel whose inner loop exercises the main
+// superinstruction patterns: affine indices (i*m+k), indexed loads feeding
+// multiplies, a multiply-add chain, the loop-increment idiom, and
+// compare+branch terminators.
+const fusedTestSrc = `
+__kernel void syrk_like(__global float* A, __global float* C, float alpha, int m, int n) {
+    int i = get_global_id(0);
+    int j = get_global_id(1);
+    if (i < n && j < n) {
+        float acc = C[i*n + j];
+        for (int k = 0; k < m; k++) {
+            acc += alpha * A[i*m + k] * A[j*m + k];
+        }
+        C[i*n + j] = acc;
+    }
+}
+`
+
+func TestParseBackend(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Backend
+		ok   bool
+	}{
+		{"interp", BackendInterp, true},
+		{"interpreter", BackendInterp, true},
+		{"closure", BackendClosure, true},
+		{"closures", BackendClosure, true},
+		{"auto", BackendAuto, true},
+		{"", BackendAuto, true},
+		{"jit", BackendAuto, false},
+	}
+	for _, c := range cases {
+		got, err := ParseBackend(c.in)
+		if (err == nil) != c.ok || got != c.want {
+			t.Errorf("ParseBackend(%q) = %v, %v; want %v, ok=%v", c.in, got, err, c.want, c.ok)
+		}
+	}
+	if BackendInterp.String() != "interp" || BackendClosure.String() != "closure" || BackendAuto.String() != "auto" {
+		t.Errorf("Backend.String round-trip broken")
+	}
+}
+
+func TestSetBackend(t *testing.T) {
+	orig := DefaultBackend()
+	defer SetBackend(orig)
+	SetBackend(BackendInterp)
+	if DefaultBackend() != BackendInterp {
+		t.Fatal("SetBackend(interp) not observed")
+	}
+	if got := BackendAuto.resolve(); got != BackendInterp {
+		t.Fatalf("Auto resolved to %v with interp default", got)
+	}
+	SetBackend(BackendAuto) // resets to the built-in default
+	if DefaultBackend() != BackendClosure {
+		t.Fatal("SetBackend(auto) did not reset to closure")
+	}
+}
+
+func TestClosureLoweringAndFusion(t *testing.T) {
+	k := MustCompile(fusedTestSrc, "syrk_like")
+	if k.clos == nil {
+		t.Fatal("closure lowering rejected the SYRK-shaped kernel")
+	}
+	if len(k.clos) != len(k.Code) {
+		t.Fatalf("clos len %d != code len %d", len(k.clos), len(k.Code))
+	}
+	if len(k.Fused) == 0 {
+		t.Fatal("no superinstructions fused in a SYRK-shaped kernel")
+	}
+	names := map[string]bool{}
+	covered := 0
+	for i, s := range k.Fused {
+		names[s.Name] = true
+		covered += s.Len
+		if s.Len < 2 || s.Start < 0 || s.Start+s.Len > len(k.Code) {
+			t.Fatalf("bad span %+v", s)
+		}
+		if i > 0 && k.Fused[i-1].Start >= s.Start {
+			t.Fatalf("spans not sorted: %+v before %+v", k.Fused[i-1], s)
+		}
+	}
+	// The inner loop must hit the deep patterns, not just pairs.
+	for _, want := range []string{"aff.ldgf.fmul", "inc", "imov2.cmp.br"} {
+		if !names[want] {
+			t.Errorf("expected superinstruction %q fused; got %v", want, names)
+		}
+	}
+	if covered*2 < len(k.Code) {
+		t.Errorf("fusion covers %d/%d instructions; expected at least half", covered, len(k.Code))
+	}
+	if bs := BackendSnapshot(); bs.TotalInstrs == 0 || bs.FusedInstrs == 0 {
+		t.Errorf("backend fusion counters not accumulated: %+v", bs)
+	}
+}
+
+func TestDisasmFusedGolden(t *testing.T) {
+	k := MustCompile(fusedTestSrc, "syrk_like")
+	got := k.Disasm()
+	if !strings.Contains(got, "; fuse aff.ldgf.fmul") {
+		t.Fatalf("disasm lacks fusion annotations:\n%s", got)
+	}
+	golden := filepath.Join("testdata", "disasm_fused.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("fused disasm drifted from %s (UPDATE_GOLDEN=1 to regenerate)\ngot:\n%s", golden, got)
+	}
+}
+
+// runBoth executes one work-group under both backends and returns the two
+// buffer states, stats, and errors.
+func runBoth(t *testing.T, k *Kernel, nd NDRange, mkArgs func() []Arg) (bufI, bufC []string, stI, stC Stats, errI, errC error) {
+	t.Helper()
+	if k.clos == nil {
+		t.Fatal("kernel not lowered to closures")
+	}
+	run := func(be Backend) ([]string, Stats, error) {
+		args := mkArgs()
+		st, err := k.ExecWorkGroup(nd, [3]int{0, 0, 0}, args, ExecOpts{Backend: be})
+		var bufs []string
+		for _, a := range args {
+			if a.Kind == ArgBuffer {
+				bufs = append(bufs, string(a.Buf))
+			}
+		}
+		return bufs, st, err
+	}
+	bufI, stI, errI = run(BackendInterp)
+	bufC, stC, errC = run(BackendClosure)
+	return
+}
+
+func TestClosureBarrierParity(t *testing.T) {
+	k := MustCompile(`
+__kernel void rev(__global float* a, int n) {
+    __local float tmp[16];
+    int l = get_local_id(0);
+    int g = get_global_id(0);
+    tmp[l] = a[g];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    a[g] = tmp[15 - l] + 1.0f;
+}
+`, "rev")
+	n := 16
+	mkArgs := func() []Arg {
+		buf := make([]byte, 4*n)
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(float32(i)*0.5))
+		}
+		return []Arg{BufArg(buf), IntArg(int64(n))}
+	}
+	bufI, bufC, stI, stC, errI, errC := runBoth(t, k, NewNDRange1D(n, 16), mkArgs)
+	if errI != nil || errC != nil {
+		t.Fatalf("errors: interp=%v closure=%v", errI, errC)
+	}
+	if stI != stC {
+		t.Fatalf("Stats diverge:\ninterp:  %+v\nclosure: %+v", stI, stC)
+	}
+	for i := range bufI {
+		if bufI[i] != bufC[i] {
+			t.Fatalf("buffer %d differs between backends", i)
+		}
+	}
+	if stI.Barriers == 0 {
+		t.Fatal("barrier phase not counted")
+	}
+}
+
+func TestClosureErrorParity(t *testing.T) {
+	t.Run("oob", func(t *testing.T) {
+		k := MustCompile(`__kernel void f(__global float* a, int n) { a[n] = 1.0f; }`, "f")
+		_, _, _, _, errI, errC := runBoth(t, k, NewNDRange1D(1, 1), func() []Arg {
+			return []Arg{BufArg(make([]byte, 8)), IntArg(99)}
+		})
+		if errI == nil || errC == nil || errI.Error() != errC.Error() {
+			t.Fatalf("error mismatch:\ninterp:  %v\nclosure: %v", errI, errC)
+		}
+	})
+	t.Run("divzero", func(t *testing.T) {
+		k := MustCompile(`__kernel void f(__global int* a, int d) { a[0] = 10 / d; }`, "f")
+		_, _, _, _, errI, errC := runBoth(t, k, NewNDRange1D(1, 1), func() []Arg {
+			return []Arg{BufArg(make([]byte, 4)), IntArg(0)}
+		})
+		if errI == nil || errC == nil || errI.Error() != errC.Error() {
+			t.Fatalf("error mismatch:\ninterp:  %v\nclosure: %v", errI, errC)
+		}
+	})
+	t.Run("budget", func(t *testing.T) {
+		// The closure backend charges the step budget per block, so the
+		// reported pc may differ from the interpreter's; error presence and
+		// message kind must agree (see fuse.go's equivalence note).
+		k := MustCompile(`__kernel void f(__global int* a) { while (true) { a[0] = 1; } }`, "f")
+		for _, be := range []Backend{BackendInterp, BackendClosure} {
+			_, err := k.ExecWorkGroup(NewNDRange1D(1, 1), [3]int{0, 0, 0},
+				[]Arg{BufArg(make([]byte, 4))}, ExecOpts{MaxSteps: 10000, Backend: be})
+			if err == nil || !strings.Contains(err.Error(), "instruction budget exceeded") {
+				t.Fatalf("%v: budget error not raised: %v", be, err)
+			}
+		}
+	})
+}
+
+// TestExecLaunchAllocs guards the scratch/engine pooling: after warm-up,
+// repeated sequential launches must not allocate per work-group (wiState,
+// memTracker, locals and the closure context all come from the kernel's
+// scratch pool).
+func TestExecLaunchAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	k := MustCompile(fusedTestSrc, "syrk_like")
+	const m, n = 8, 8
+	a := make([]byte, 4*m*n)
+	c := make([]byte, 4*n*n)
+	args := []Arg{BufArg(a), BufArg(c), FloatArg(1.5), IntArg(m), IntArg(n)}
+	nd := NewNDRange2D(n, n, 4, 4)
+	defer SetWorkers(0)
+	for _, be := range []Backend{BackendInterp, BackendClosure} {
+		SetWorkers(1) // sequential path: the parallel engine's goroutines allocate by design
+		run := func() {
+			if _, err := k.ExecLaunch(nd, args, ExecOpts{Backend: be}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		run() // warm the pools
+		if avg := testing.AllocsPerRun(20, run); avg >= 1 {
+			t.Errorf("%v: ExecLaunch allocates %.1f allocs/op after warm-up", be, avg)
+		}
+	}
+}

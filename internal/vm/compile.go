@@ -52,6 +52,7 @@ func Compile(ki *clc.KernelInfo) (*Kernel, error) {
 	}
 	c.emit(Instr{Op: opRET})
 	c.finalize()
+	c.k.buildClosures()
 	return c.k, nil
 }
 

@@ -10,9 +10,12 @@ import (
 )
 
 // Differential testing: generate random MiniCL kernels, execute them through
-// the bytecode compiler+VM and through the independent AST interpreter
-// (ref.go), and require bit-identical buffer contents. A miscompilation
-// would have to be mirrored by an identical interpreter bug to slip through.
+// the bytecode compiler with BOTH VM backends (switch interpreter and fused
+// closures) and through the independent AST interpreter (ref.go), and
+// require bit-identical buffer contents — plus identical Stats between the
+// two VM backends, since Stats feed the virtual-time model. A
+// miscompilation would have to be mirrored by an identical bug in the other
+// two executors to slip through.
 
 func TestDifferentialVMvsReference(t *testing.T) {
 	const trials = 50
@@ -27,6 +30,9 @@ func TestDifferentialVMvsReference(t *testing.T) {
 		k, err := Compile(ki)
 		if err != nil {
 			t.Fatalf("seed %d: compile: %v\n%s", seed, err, src)
+		}
+		if k.clos == nil {
+			t.Fatalf("seed %d: closure lowering rejected compiled kernel\n%s", seed, src)
 		}
 
 		mkBufs := func() ([]byte, []byte) {
@@ -44,8 +50,15 @@ func TestDifferentialVMvsReference(t *testing.T) {
 		p1 := int64(seed%13 - 6)
 		fp := float64(seed%17)/3 - 2
 
-		fbVM, ibVM := mkBufs()
-		_, vmErr := k.ExecLaunch(nd, []Arg{BufArg(fbVM), BufArg(ibVM), IntArg(int64(n)), IntArg(p1), FloatArg(fp)}, ExecOpts{})
+		runVM := func(be Backend) ([]byte, []byte, Stats, error) {
+			fb, ib := mkBufs()
+			st, err := k.ExecLaunch(nd,
+				[]Arg{BufArg(fb), BufArg(ib), IntArg(int64(n)), IntArg(p1), FloatArg(fp)},
+				ExecOpts{Backend: be})
+			return fb, ib, st, err
+		}
+		fbVM, ibVM, stI, vmErr := runVM(BackendInterp)
+		fbCl, ibCl, stC, clErr := runVM(BackendClosure)
 
 		ref, err := NewRefExec(ki)
 		if err != nil {
@@ -61,8 +74,18 @@ func TestDifferentialVMvsReference(t *testing.T) {
 		if (vmErr == nil) != (refErr == nil) {
 			t.Fatalf("seed %d: error disagreement: vm=%v ref=%v\n%s", seed, vmErr, refErr, src)
 		}
+		if (vmErr == nil) != (clErr == nil) {
+			t.Fatalf("seed %d: backend error disagreement: interp=%v closure=%v\n%s", seed, vmErr, clErr, src)
+		}
 		if vmErr != nil {
 			continue
+		}
+		if stI != stC {
+			t.Fatalf("seed %d: Stats diverge between backends:\ninterp:  %+v\nclosure: %+v\n%s",
+				seed, stI, stC, src)
+		}
+		if string(fbVM) != string(fbCl) || string(ibVM) != string(ibCl) {
+			t.Fatalf("seed %d: closure backend buffers differ from interpreter\n%s", seed, src)
 		}
 		for i := 0; i < 4*n; i += 4 {
 			vb := binary.LittleEndian.Uint32(fbVM[i:])
@@ -82,8 +105,10 @@ func TestDifferentialVMvsReference(t *testing.T) {
 }
 
 func TestDifferentialUndoRollback(t *testing.T) {
-	// Property: executing any generated work-group with an undo log and
-	// rolling back must restore the buffers exactly.
+	// Property, for both backends: executing any generated work-group with
+	// an undo log and rolling back must restore the buffers exactly, and
+	// the pre-rollback buffers must match between backends (the closure
+	// backend records identical undo entries).
 	const trials = 25
 	n := 32
 	for seed := 0; seed < trials; seed++ {
@@ -96,25 +121,101 @@ func TestDifferentialUndoRollback(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		fb := make([]byte, 4*n)
-		ib := make([]byte, 4*n)
-		r := rand.New(rand.NewSource(int64(seed)))
-		r.Read(fb)
-		r.Read(ib)
-		fb0 := append([]byte(nil), fb...)
-		ib0 := append([]byte(nil), ib...)
-		var undo UndoLog
 		nd := NewNDRange1D(n, 32)
-		_, err = k.ExecWorkGroup(nd, [3]int{0, 0, 0},
-			[]Arg{BufArg(fb), BufArg(ib), IntArg(int64(n)), IntArg(3), FloatArg(1.5)},
-			ExecOpts{Undo: &undo})
+		var applied [2]string
+		for bi, be := range []Backend{BackendInterp, BackendClosure} {
+			fb := make([]byte, 4*n)
+			ib := make([]byte, 4*n)
+			r := rand.New(rand.NewSource(int64(seed)))
+			r.Read(fb)
+			r.Read(ib)
+			fb0 := append([]byte(nil), fb...)
+			ib0 := append([]byte(nil), ib...)
+			var undo UndoLog
+			_, err = k.ExecWorkGroup(nd, [3]int{0, 0, 0},
+				[]Arg{BufArg(fb), BufArg(ib), IntArg(int64(n)), IntArg(3), FloatArg(1.5)},
+				ExecOpts{Undo: &undo, Backend: be})
+			if err != nil {
+				applied[bi] = "err"
+				continue // e.g. NaN-driven index... impossible by construction, but be safe
+			}
+			applied[bi] = string(fb) + string(ib)
+			undo.Rollback()
+			if string(fb) != string(fb0) || string(ib) != string(ib0) {
+				t.Fatalf("seed %d (%v): rollback did not restore buffers\n%s", seed, be, src)
+			}
+		}
+		if applied[0] != applied[1] {
+			t.Fatalf("seed %d: pre-rollback buffers differ between backends\n%s", seed, src)
+		}
+	}
+}
+
+func TestDifferentialDeferredWrites(t *testing.T) {
+	// Property: executing a work-group with a DeferredWrites log and
+	// committing must be byte-identical across backends, and identical to
+	// in-place execution (the commit applies exactly the stores that would
+	// have landed).
+	const trials = 25
+	n := 32
+	for seed := 0; seed < trials; seed++ {
+		src := GenProgram(rand.New(rand.NewSource(int64(3000 + seed))))
+		ki, err := clc.FindKernelInfo(src, "diff")
 		if err != nil {
-			continue // e.g. NaN-driven index... impossible by construction, but be safe
+			t.Fatal(err)
 		}
-		undo.Rollback()
-		if string(fb) != string(fb0) || string(ib) != string(ib0) {
-			t.Fatalf("seed %d: rollback did not restore buffers\n%s", seed, src)
+		k, err := Compile(ki)
+		if err != nil {
+			t.Fatal(err)
 		}
+		nd := NewNDRange1D(n, 32)
+		mkBufs := func() ([]byte, []byte) {
+			fb := make([]byte, 4*n)
+			ib := make([]byte, 4*n)
+			r := rand.New(rand.NewSource(int64(seed) * 11))
+			r.Read(fb)
+			r.Read(ib)
+			return fb, ib
+		}
+		run := func(be Backend, deferred bool) (string, Stats, error) {
+			fb, ib := mkBufs()
+			args := []Arg{BufArg(fb), BufArg(ib), IntArg(int64(n)), IntArg(3), FloatArg(1.5)}
+			opts := ExecOpts{Backend: be}
+			var def DeferredWrites
+			if deferred {
+				def.begin(len(args))
+				opts.Def = &def
+			}
+			st, err := k.ExecWorkGroup(nd, [3]int{0, 0, 0}, args, opts)
+			if err != nil {
+				return "", st, err
+			}
+			if deferred {
+				def.commit(args, nil)
+			}
+			return string(fb) + string(ib), st, nil
+		}
+		inplace, stPlain, errPlain := run(BackendInterp, false)
+		defI, stI, errI := run(BackendInterp, true)
+		defC, stC, errC := run(BackendClosure, true)
+		if (errPlain == nil) != (errI == nil) || (errI == nil) != (errC == nil) {
+			t.Fatalf("seed %d: error disagreement: plain=%v definterp=%v defclosure=%v\n%s",
+				seed, errPlain, errI, errC, src)
+		}
+		if errPlain != nil {
+			continue
+		}
+		if stI != stC {
+			t.Fatalf("seed %d: deferred Stats diverge between backends:\ninterp:  %+v\nclosure: %+v\n%s",
+				seed, stI, stC, src)
+		}
+		if defI != defC {
+			t.Fatalf("seed %d: deferred+commit buffers differ between backends\n%s", seed, src)
+		}
+		if defI != inplace {
+			t.Fatalf("seed %d: deferred+commit differs from in-place execution\n%s", seed, src)
+		}
+		_ = stPlain // deferred runs add noteRead tracking but Stats must still match each other
 	}
 }
 

@@ -51,8 +51,16 @@ func (k *Kernel) Disasm() string {
 	for _, pa := range k.PrivArrs {
 		fmt.Fprintf(&b, "  private %s[%d] %s\n", pa.Name, pa.Len, pa.Elem)
 	}
+	fuseAt := make(map[int]FusedSpan, len(k.Fused))
+	for _, s := range k.Fused {
+		fuseAt[s.Start] = s
+	}
 	for pc, in := range k.Code {
-		fmt.Fprintf(&b, "%4d  %s\n", pc, disasmInstr(in))
+		line := disasmInstr(in)
+		if s, ok := fuseAt[pc]; ok {
+			line = fmt.Sprintf("%s  ; fuse %s (%d instrs)", line, s.Name, s.Len)
+		}
+		fmt.Fprintf(&b, "%4d  %s\n", pc, line)
 	}
 	return b.String()
 }

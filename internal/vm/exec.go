@@ -22,6 +22,11 @@ type ExecOpts struct {
 	// ArgsChecked skips per-call argument validation; set it only after a
 	// successful CheckArgs for the same kernel and argument list.
 	ArgsChecked bool
+	// Backend selects the execution engine for this call. BackendAuto uses
+	// the process default (see SetBackend / FLUIDICL_BACKEND). The closure
+	// backend silently falls back to the interpreter for kernels whose
+	// bytecode the lowering did not accept.
+	Backend Backend
 }
 
 const defaultMaxSteps = 256 << 20
@@ -148,8 +153,15 @@ func (k *Kernel) ExecWorkGroup(nd NDRange, group [3]int, args []Arg, opts ExecOp
 	return st, err
 }
 
-// execWG interprets one work-group against pooled scratch state.
+// execWG executes one work-group against pooled scratch state, dispatching
+// to the backend the options select. Both paths are closure-free on the per
+// work-item hot path so warm executions do not allocate.
 func (k *Kernel) execWG(nd NDRange, group [3]int, args []Arg, opts ExecOpts, sc *wgScratch) (Stats, error) {
+	if opts.Backend.resolve() == BackendClosure && k.clos != nil {
+		return k.execWGClosure(nd, group, args, opts, sc)
+	}
+	backendCtr.interpWGs.Add(1)
+
 	var st Stats
 	maxSteps := opts.MaxSteps
 	if maxSteps <= 0 {
@@ -163,23 +175,15 @@ func (k *Kernel) execWG(nd NDRange, group [3]int, args []Arg, opts ExecOpts, sc 
 	// Local arrays, shared by the group's work-items.
 	locals := sc.localsFor(k)
 	tr := sc.trackerFor(k)
-
-	run := func(w *wiState, lid [3]int, wi int) (atBarrier bool, err error) {
-		return k.run(w, nd, group, lid, wi, args, locals, tr, &st, opts, maxSteps)
-	}
-
-	lidOf := func(wi int) [3]int {
-		lx := nd.LocalSize[0]
-		ly := nd.LocalSize[1]
-		return [3]int{wi % lx, (wi / lx) % ly, wi / (lx * ly)}
-	}
+	lx, ly := nd.LocalSize[0], nd.LocalSize[1]
 
 	if !k.HasBarrier {
 		w := sc.singleFor(k)
 		for wi := 0; wi < nWI; wi++ {
 			w.reset(k)
 			tr.nextWI(wi%warpSize == 0)
-			if _, err := run(w, lidOf(wi), wi); err != nil {
+			lid := [3]int{wi % lx, (wi / lx) % ly, wi / (lx * ly)}
+			if _, err := k.run(w, nd, group, lid, wi, args, locals, tr, &st, opts, maxSteps); err != nil {
 				return st, err
 			}
 		}
@@ -197,7 +201,8 @@ func (k *Kernel) execWG(nd NDRange, group [3]int, args []Arg, opts ExecOpts, sc 
 				continue
 			}
 			tr.nextWI(wi%warpSize == 0)
-			atBarrier, err := run(w, lidOf(wi), wi)
+			lid := [3]int{wi % lx, (wi / lx) % ly, wi / (lx * ly)}
+			atBarrier, err := k.run(w, nd, group, lid, wi, args, locals, tr, &st, opts, maxSteps)
 			if err != nil {
 				return st, err
 			}
@@ -219,6 +224,89 @@ func (k *Kernel) execWG(nd NDRange, group [3]int, args []Arg, opts ExecOpts, sc 
 			return st, &execError{k.Name, barrierPC, "barrier not reached by all work-items"}
 		}
 		st.Barriers++
+	}
+}
+
+// execWGClosure is execWG's threaded-code twin: identical phasing, stats
+// and error behavior, but work-items run through the kernel's compiled
+// closures. The cmach owns the group's Stats so nothing escapes to the
+// heap; the value is copied out before the context returns to the pool.
+func (k *Kernel) execWGClosure(nd NDRange, group [3]int, args []Arg, opts ExecOpts, sc *wgScratch) (Stats, error) {
+	backendCtr.closureWGs.Add(1)
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = defaultMaxSteps
+	}
+	nWI := nd.WorkItemsPerGroup()
+
+	cm := sc.cmFor()
+	cm.k = k
+	cm.nd, cm.group = nd, group
+	cm.args = args
+	cm.locals = sc.localsFor(k)
+	cm.tr = sc.trackerFor(k)
+	cm.stat = Stats{WorkGroups: 1, WorkItems: nWI}
+	cm.st = &cm.stat
+	cm.def, cm.undo = opts.Def, opts.Undo
+	cm.maxSteps = maxSteps
+
+	err := k.closureWGLoop(cm, sc, nWI)
+	st := cm.stat
+	cm.release()
+	return st, err
+}
+
+func (k *Kernel) closureWGLoop(cm *cmach, sc *wgScratch, nWI int) error {
+	lx, ly := cm.nd.LocalSize[0], cm.nd.LocalSize[1]
+
+	if !k.HasBarrier {
+		w := sc.singleFor(k)
+		for wi := 0; wi < nWI; wi++ {
+			w.reset(k)
+			cm.tr.nextWI(wi%warpSize == 0)
+			cm.lid = [3]int{wi % lx, (wi / lx) % ly, wi / (lx * ly)}
+			cm.firstInWarp = wi%warpSize == 0
+			if _, err := k.runClos(cm, w); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	states := sc.statesFor(k, nWI)
+	for {
+		anyBarrier, anyDone := false, false
+		barrierPC := -1
+		for wi, w := range states {
+			if w.done {
+				anyDone = true
+				continue
+			}
+			cm.tr.nextWI(wi%warpSize == 0)
+			cm.lid = [3]int{wi % lx, (wi / lx) % ly, wi / (lx * ly)}
+			cm.firstInWarp = wi%warpSize == 0
+			atBarrier, err := k.runClos(cm, w)
+			if err != nil {
+				return err
+			}
+			if atBarrier {
+				anyBarrier = true
+				if barrierPC == -1 {
+					barrierPC = w.pc
+				} else if barrierPC != w.pc {
+					return &execError{k.Name, w.pc, "work-items diverged to different barriers"}
+				}
+			} else {
+				anyDone = true
+			}
+		}
+		if !anyBarrier {
+			return nil
+		}
+		if anyDone {
+			return &execError{k.Name, barrierPC, "barrier not reached by all work-items"}
+		}
+		cm.stat.Barriers++
 	}
 }
 
@@ -686,6 +774,7 @@ func (k *Kernel) ExecLaunch(nd NDRange, args []Arg, opts ExecOpts) (Stats, error
 	if w := Workers(); w > 1 && n > 1 && opts.Def == nil {
 		undo := opts.Undo
 		if eng, err := NewLaunchEngine(k, nd, args, opts, w, nil); err == nil && eng != nil {
+			defer eng.Release()
 			for i := 0; i < n; i++ {
 				st, err := eng.Result(i)
 				total.Add(st)

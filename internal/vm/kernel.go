@@ -178,6 +178,13 @@ type Kernel struct {
 	NumMemOps  int         // static count of global memory instructions
 	Info       *clc.KernelInfo
 
+	// Fused lists the superinstructions the closure backend fused, for
+	// disassembly annotation; clos is the threaded code itself (one closure
+	// per basic block, indexed by leader pc — nil when lowering bailed out
+	// and the interpreter must be used). Both are built once in Compile.
+	Fused []FusedSpan
+	clos  []closFn
+
 	// scratch pools per-work-group execution state (*wgScratch). A compiled
 	// kernel is otherwise immutable, so one Kernel may execute work-groups
 	// from many goroutines concurrently.

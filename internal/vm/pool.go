@@ -48,6 +48,7 @@ type wgScratch struct {
 	states []*wiState
 	locals [][]byte
 	tr     *memTracker
+	cm     *cmach
 }
 
 func (k *Kernel) getScratch() *wgScratch {
@@ -115,6 +116,16 @@ func (s *wgScratch) localsFor(k *Kernel) [][]byte {
 		}
 	}
 	return s.locals
+}
+
+// cmFor returns the closure backend's execution context. Every field is
+// (re)assigned by execWG before use and released after, so no reset is
+// needed here.
+func (s *wgScratch) cmFor() *cmach {
+	if s.cm == nil {
+		s.cm = &cmach{}
+	}
+	return s.cm
 }
 
 // trackerFor returns the memory tracker. No explicit reset is needed: the
@@ -324,35 +335,72 @@ func NewLaunchEngine(k *Kernel, nd NDRange, args []Arg, opts ExecOpts, workers i
 	return e, nil
 }
 
+// enginePool recycles LaunchEngines across launches so the deferred-write
+// slabs and result slices they grow are reused instead of reallocated per
+// launch. Engines enter the pool via Release.
+var enginePool = sync.Pool{New: func() any { return &LaunchEngine{} }}
+
 // newEngine builds the executor-agnostic core; the caller fills in exec.
 func newEngine(n int, args []Arg, workers int, epoch func() uint64) *LaunchEngine {
 	if n <= 0 || workers < 1 {
 		return nil
 	}
-	argOf := make(map[*byte]int32, len(args))
+	e := enginePool.Get().(*LaunchEngine)
+	if e.argOf == nil {
+		e.argOf = make(map[*byte]int32, len(args))
+	}
 	for i, a := range args {
 		if a.Kind != ArgBuffer || len(a.Buf) == 0 {
 			continue
 		}
 		p := &a.Buf[0]
-		if _, dup := argOf[p]; dup {
-			return nil // aliased buffer arguments: fall back to sequential
+		if _, dup := e.argOf[p]; dup {
+			e.Release() // aliased buffer arguments: fall back to sequential
+			return nil
 		}
-		argOf[p] = int32(i)
+		e.argOf[p] = int32(i)
 	}
 	wave := workers * 4
 	if wave > n {
 		wave = n
 	}
-	return &LaunchEngine{
-		args:      args,
-		n:         n,
-		workers:   workers,
-		wave:      wave,
-		epoch:     epoch,
-		committed: make([]argSpan, len(args)),
-		argOf:     argOf,
+	e.args = args
+	e.n = n
+	e.workers = workers
+	e.wave = wave
+	e.epoch = epoch
+	if cap(e.committed) >= len(args) {
+		e.committed = e.committed[:len(args)]
+		for i := range e.committed {
+			e.committed[i] = argSpan{}
+		}
+	} else {
+		e.committed = make([]argSpan, len(args))
 	}
+	return e
+}
+
+// Release returns the engine to the pool for reuse by a later launch,
+// dropping every reference to caller-owned memory first. The engine must
+// not be used afterwards. Releasing a nil engine is a no-op, so callers can
+// defer it unconditionally.
+func (e *LaunchEngine) Release() {
+	if e == nil {
+		return
+	}
+	e.args = nil
+	e.exec = nil
+	e.epoch = nil
+	clear(e.argOf)
+	for i := range e.res {
+		e.res[i] = specRes{}
+	}
+	e.res = e.res[:0]
+	e.committed = e.committed[:0]
+	e.n, e.workers, e.wave = 0, 0, 0
+	e.waveLo, e.waveHi = 0, 0
+	e.snapEpoch, e.stale = 0, false
+	enginePool.Put(e)
 }
 
 // runWave executes groups [start, start+wave) concurrently.

@@ -1,0 +1,7 @@
+//go:build race
+
+package vm
+
+// raceEnabled reports whether the race detector is on; its instrumentation
+// allocates, so allocs/op guards skip under -race.
+const raceEnabled = true

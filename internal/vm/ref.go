@@ -192,6 +192,7 @@ func (r *RefExec) ExecLaunch(nd NDRange, args []Arg) error {
 	n := nd.LaunchGroups()
 	if w := Workers(); w > 1 && n > 1 {
 		if eng := newEngine(n, args, w, nil); eng != nil {
+			defer eng.Release()
 			eng.exec = func(i int, d *DeferredWrites) (Stats, error) {
 				return Stats{}, r.execGroup(nd, nd.GroupAt(i), args, d)
 			}

@@ -1,6 +1,7 @@
 #!/bin/sh
 # Bench-regression gate: re-run the quick-scale experiment suite and compare
-# each experiment's wall clock against the committed BENCH_01.json baseline.
+# each experiment's wall clock against the committed BENCH_02.json baseline
+# (quick-scale suite at the default closure backend: like-with-like).
 # Exits non-zero when any experiment regressed past the tolerance.
 #
 #   BENCH_GATE_TOL_PCT   allowed regression, percent (default 25)
@@ -22,4 +23,4 @@ trap 'rm -f "$tmp"' EXIT
 echo "bench_gate: running quick-scale suite (tolerance ${tol}%)..."
 go run ./cmd/fluidibench -quick -jsonout "$tmp" all >/dev/null
 
-go run ./cmd/benchgate -baseline BENCH_01.json -current "$tmp" -tol "$tol" -min "$min"
+go run ./cmd/benchgate -baseline BENCH_02.json -current "$tmp" -tol "$tol" -min "$min"
