@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt-check lint build vet test race bench-smoke bench bench-baseline bench-baseline-interp bench-gate
+.PHONY: check fmt-check lint build vet test race bench-smoke bench bench-baseline bench-baseline-closure bench-baseline-interp bench-gate
 
 # The fast CI gate: formatting, build, vet, tests, kernel lint, benchmark
 # smoke. The race-detector suite is deliberately NOT in here — it reruns
@@ -41,20 +41,26 @@ bench-smoke:
 bench:
 	$(GO) test -bench . -benchmem -benchtime=3x -run '^$$' .
 
-# Regenerate the BENCH_02.json wall-clock baseline (quick scale, closure
-# backend — the default). BENCH_01.json is the interpreter-era baseline the
-# closure backend is measured against; regenerate it with
-# bench-baseline-interp on intentional interpreter changes.
+# Regenerate the BENCH_03.json wall-clock baseline (quick scale, wg backend
+# — the whole-work-group engine the bench gate now tracks). BENCH_01.json
+# (interpreter era) and BENCH_02.json (closure era) are the historical
+# baselines each successive backend was measured against; regenerate them
+# with the variants below on intentional changes to those engines.
 bench-baseline:
-	$(GO) run ./cmd/fluidibench -quick -jsonout BENCH_02.json all >/dev/null
+	$(GO) run ./cmd/fluidibench -quick -backend=wg -jsonout BENCH_03.json all >/dev/null
+	@cat BENCH_03.json
+
+bench-baseline-closure:
+	$(GO) run ./cmd/fluidibench -quick -backend=closure -jsonout BENCH_02.json all >/dev/null
 	@cat BENCH_02.json
 
 bench-baseline-interp:
 	$(GO) run ./cmd/fluidibench -quick -backend=interp -jsonout BENCH_01.json all >/dev/null
 	@cat BENCH_01.json
 
-# Compare a fresh quick-scale run against the committed BENCH_02.json wall
-# clock baseline; fails on regression past tolerance (BENCH_GATE_TOL_PCT,
-# default 25%). Non-blocking in CI — wall clock is noisy.
+# Compare a fresh quick-scale wg-backend run against the committed
+# BENCH_03.json wall clock baseline; fails on regression past tolerance
+# (BENCH_GATE_TOL_PCT, default 25%). Non-blocking in CI — wall clock is
+# noisy.
 bench-gate:
 	./scripts/bench_gate.sh

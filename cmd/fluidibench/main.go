@@ -40,7 +40,7 @@ func main() {
 	jsonOut := flag.String("jsonout", "", "write per-table wall-clock times as JSON to this file")
 	traceOut := flag.String("trace", "", "run one benchmark under FluidiCL and write a Chrome trace_event JSON file here")
 	dist := flag.Bool("dist", false, "print the per-benchmark CPU/GPU work-distribution table (paper §5.5)")
-	backend := flag.String("backend", "", "work-group execution backend: interp or closure (default closure, or $FLUIDICL_BACKEND)")
+	backend := flag.String("backend", "", "work-group execution backend: interp, closure, or wg (default closure, or $FLUIDICL_BACKEND)")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -185,6 +185,13 @@ type wallEntry struct {
 	InterpWGs   int64 `json:"interp_wgs"`
 	FusedInstrs int64 `json:"fused_instrs"`
 	TotalInstrs int64 `json:"total_instrs"`
+	// Whole-work-group compilation coverage: work-groups run by the
+	// lockstep engine vs fallen back, and how many kernels/regions the
+	// compilation pass produced.
+	WGLoopWGs     int64 `json:"wg_loop_wgs"`
+	WGFallbackWGs int64 `json:"wg_fallback_wgs"`
+	WGKernels     int64 `json:"wg_kernels"`
+	WGRegions     int64 `json:"wg_regions"`
 }
 
 func newWallEntry(id string, wall float64, c core.Counters, s trace.GlobalSummary) wallEntry {
@@ -209,6 +216,10 @@ func newWallEntry(id string, wall float64, c core.Counters, s trace.GlobalSummar
 		InterpWGs:         c.InterpWGs,
 		FusedInstrs:       c.FusedInstrs,
 		TotalInstrs:       c.TotalInstrs,
+		WGLoopWGs:         c.WGLoopWGs,
+		WGFallbackWGs:     c.WGFallbackWGs,
+		WGKernels:         c.WGKernels,
+		WGRegions:         c.WGRegions,
 	}
 }
 
@@ -396,7 +407,7 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `fluidibench — regenerate the FluidiCL paper's tables and figures
 
 usage:
-  fluidibench [-csv] [-quick] [-workers N] [-parallel N] [-backend interp|closure] [-jsonout F] <experiment>|all
+  fluidibench [-csv] [-quick] [-workers N] [-parallel N] [-backend interp|closure|wg] [-jsonout F] <experiment>|all
   fluidibench -trace out.json [-quick] <benchmark>   # Chrome trace_event JSON (chrome://tracing)
   fluidibench -dist [-quick] [-csv]   # CPU/GPU work-distribution table (paper §5.5)
   fluidibench run <benchmark>     # one benchmark under every strategy

@@ -779,3 +779,66 @@ func TestOnlineProfilingProbesUseSmallAllocations(t *testing.T) {
 		t.Fatalf("second probe = %q, want variant 1", launches[1].What)
 	}
 }
+
+// TestCounterSnapshotWGBackend checks that the whole-work-group compilation
+// counters surface through core.CounterSnapshot when a runtime executes
+// under the wg backend: a certifiable kernel counts lockstep work-groups
+// and compiled regions, while an uncertifiable scatter kernel shows up as
+// fallbacks. (The strict zero-lockstep assertion for fallback kernels lives
+// at the vm layer, where no runtime-internal merge launches can interfere.)
+func TestCounterSnapshotWGBackend(t *testing.T) {
+	n, m := 64, 4
+	before := CounterSnapshot()
+	out, _, _ := runScale(t, device.XeonW3550(), device.TeslaC2070(), n, m,
+		Options{Backend: vm.BackendWG})
+	checkScale(t, out, n, m)
+	after := CounterSnapshot()
+	d := after.Sub(before)
+	if d.WGLoopWGs == 0 {
+		t.Errorf("wg backend ran but WGLoopWGs stayed 0: %+v", d)
+	}
+	// WGKernels/WGRegions count compilations, which the two-layer compile
+	// cache may have satisfied during earlier tests in this package — check
+	// the absolute process-wide totals, not the delta.
+	if after.WGKernels == 0 || after.WGRegions == 0 {
+		t.Errorf("wg compilation counters stayed 0: %+v", after)
+	}
+
+	// A data-dependent scatter store cannot be certified noninterfering, so
+	// every wg-backend dispatch of this kernel must fall back.
+	const scatterSrc = `
+__kernel void scatter(__global int* idx, __global float* out, int n) {
+    int i = get_global_id(0);
+    if (i < n) {
+        out[idx[i]] = 1.0f;
+    }
+}
+`
+	before = CounterSnapshot()
+	env := sim.NewEnv()
+	rt := MustNew(env, device.New(env, device.XeonW3550()),
+		device.New(env, device.TeslaC2070()), Options{Backend: vm.BackendWG})
+	prog, err := rt.BuildProgram(scatterSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := prog.MustKernel("scatter")
+	idx := make([]byte, 4*n)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint32(idx[4*i:], uint32(i))
+	}
+	bufIdx, bufOut := rt.CreateBuffer(4*n), rt.CreateBuffer(4*n)
+	env.Go("app", func(p *sim.Proc) {
+		rt.EnqueueWriteBuffer(p, bufIdx, idx)
+		if err := rt.EnqueueNDRangeKernel(p, k, vm.NewNDRange1D(n, 16),
+			[]Arg{BufArg(bufIdx), BufArg(bufOut), IntArg(int64(n))}); err != nil {
+			t.Error(err)
+		}
+		rt.EnqueueReadBuffer(p, bufOut)
+	})
+	env.Run()
+	d = CounterSnapshot().Sub(before)
+	if d.WGFallbackWGs == 0 {
+		t.Errorf("uncertifiable scatter kernel recorded no wg fallbacks: %+v", d)
+	}
+}

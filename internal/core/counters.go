@@ -32,6 +32,17 @@ type Counters struct {
 	InterpWGs   int64
 	FusedInstrs int64
 	TotalInstrs int64
+
+	// Whole-work-group compilation activity. WGLoopWGs counts work-groups
+	// the lockstep engine executed; WGFallbackWGs counts wg-backend
+	// dispatches that fell back to a per-item engine (uncompiled kernel or
+	// failed noninterference certificate); WGKernels/WGRegions report how
+	// many compiled kernels lowered to barrier-region loops and how many
+	// regions they split into.
+	WGLoopWGs     int64
+	WGFallbackWGs int64
+	WGKernels     int64
+	WGRegions     int64
 }
 
 // globalCounters accumulates across every Runtime in the process, so
@@ -52,6 +63,10 @@ func CounterSnapshot() Counters {
 		InterpWGs:         b.InterpWGs,
 		FusedInstrs:       b.FusedInstrs,
 		TotalInstrs:       b.TotalInstrs,
+		WGLoopWGs:         b.WGLoopWGs,
+		WGFallbackWGs:     b.WGFallbackWGs,
+		WGKernels:         b.WGKernels,
+		WGRegions:         b.WGRegions,
 	}
 }
 
@@ -66,6 +81,10 @@ func (c Counters) Sub(o Counters) Counters {
 		InterpWGs:         c.InterpWGs - o.InterpWGs,
 		FusedInstrs:       c.FusedInstrs - o.FusedInstrs,
 		TotalInstrs:       c.TotalInstrs - o.TotalInstrs,
+		WGLoopWGs:         c.WGLoopWGs - o.WGLoopWGs,
+		WGFallbackWGs:     c.WGFallbackWGs - o.WGFallbackWGs,
+		WGKernels:         c.WGKernels - o.WGKernels,
+		WGRegions:         c.WGRegions - o.WGRegions,
 	}
 }
 

@@ -1,5 +1,5 @@
-// Acceptance test for the closure backend (external package: polybench
-// imports sched). The two work-group execution backends must be
+// Acceptance test for the closure and wg backends (external package:
+// polybench imports sched). Every work-group execution backend must be
 // observationally identical through the whole stack: same output buffers,
 // same virtual time, and byte-identical Chrome traces on every quick-scale
 // Polybench experiment.
@@ -38,21 +38,23 @@ func TestBackendParityFluidiCL(t *testing.T) {
 				return runOut{res, buf.Bytes()}
 			}
 			ri := run(vm.BackendInterp)
-			rc := run(vm.BackendClosure)
-			if ri.res.Time != rc.res.Time {
-				t.Errorf("virtual time diverges: interp=%v closure=%v", ri.res.Time, rc.res.Time)
-			}
-			for name, want := range ri.res.Outputs {
-				if got := rc.res.Outputs[name]; !bytes.Equal(got, want) {
-					t.Errorf("output %q differs between backends", name)
+			for _, be := range []vm.Backend{vm.BackendClosure, vm.BackendWG} {
+				rc := run(be)
+				if ri.res.Time != rc.res.Time {
+					t.Errorf("virtual time diverges: interp=%v %v=%v", ri.res.Time, be, rc.res.Time)
 				}
-			}
-			if err := b.Verify(rc.res.Outputs); err != nil {
-				t.Errorf("closure backend output wrong: %v", err)
-			}
-			if !bytes.Equal(ri.chrom, rc.chrom) {
-				t.Errorf("Chrome traces differ between backends (%d vs %d bytes)",
-					len(ri.chrom), len(rc.chrom))
+				for name, want := range ri.res.Outputs {
+					if got := rc.res.Outputs[name]; !bytes.Equal(got, want) {
+						t.Errorf("output %q differs between interp and %v", name, be)
+					}
+				}
+				if err := b.Verify(rc.res.Outputs); err != nil {
+					t.Errorf("%v backend output wrong: %v", be, err)
+				}
+				if !bytes.Equal(ri.chrom, rc.chrom) {
+					t.Errorf("Chrome traces differ between interp and %v (%d vs %d bytes)",
+						be, len(ri.chrom), len(rc.chrom))
+				}
 			}
 		})
 	}

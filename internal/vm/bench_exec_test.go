@@ -75,7 +75,7 @@ func BenchmarkExecLaunch(b *testing.B) {
 	defer vm.SetWorkers(0)
 	for _, name := range []string{"SYRK", "GESUMMV", "2MM"} {
 		launches := benchApp(b, name)
-		for _, be := range []vm.Backend{vm.BackendInterp, vm.BackendClosure} {
+		for _, be := range []vm.Backend{vm.BackendInterp, vm.BackendClosure, vm.BackendWG} {
 			b.Run(name+"/"+be.String(), func(b *testing.B) {
 				b.ReportAllocs()
 				// Warm the scratch/engine pools before measuring.

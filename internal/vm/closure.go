@@ -29,6 +29,13 @@ const (
 	// kernel's bytecode is lowered to an array of Go closures, one per basic
 	// block, with common sequences fused into superinstructions (fuse.go).
 	BackendClosure
+	// BackendWG is the whole-work-group engine: the kernel's CFG is split at
+	// barriers into barrier-free regions and each basic block runs as a loop
+	// over all work-items of the group against structure-of-arrays register
+	// banks (wg.go / wgexec.go). Kernels or launches the per-launch
+	// noninterference certificate cannot prove safe fall back to the closure
+	// path per work-group.
+	BackendWG
 )
 
 // String returns the flag spelling of b.
@@ -38,6 +45,8 @@ func (b Backend) String() string {
 		return "interp"
 	case BackendClosure:
 		return "closure"
+	case BackendWG:
+		return "wg"
 	default:
 		return "auto"
 	}
@@ -51,10 +60,12 @@ func ParseBackend(s string) (Backend, error) {
 		return BackendInterp, nil
 	case "closure", "closures":
 		return BackendClosure, nil
+	case "wg", "workgroup":
+		return BackendWG, nil
 	case "auto", "":
 		return BackendAuto, nil
 	}
-	return BackendAuto, fmt.Errorf("vm: unknown backend %q (want interp or closure)", s)
+	return BackendAuto, fmt.Errorf("vm: unknown backend %q (want interp, closure or wg)", s)
 }
 
 // defaultBackend holds the process-wide backend (BackendInterp or
@@ -106,6 +117,11 @@ var backendCtr struct {
 	interpWGs   atomic.Int64
 	fusedInstrs atomic.Int64
 	totalInstrs atomic.Int64
+
+	wgLoopWGs     atomic.Int64
+	wgFallbackWGs atomic.Int64
+	wgRegions     atomic.Int64
+	wgKernels     atomic.Int64
 }
 
 // BackendCounters is a snapshot of process-wide backend activity.
@@ -118,15 +134,31 @@ type BackendCounters struct {
 	// compilation in the process.
 	FusedInstrs int64
 	TotalInstrs int64
+
+	// WGLoopWGs counts work-groups executed by the whole-work-group engine;
+	// WGFallbackWGs counts work-groups that requested the wg backend but fell
+	// back to the per-item path (unsupported kernel shape or a launch the
+	// noninterference certificate rejected).
+	WGLoopWGs     int64
+	WGFallbackWGs int64
+	// WGRegions / WGKernels count barrier-free regions and kernels compiled
+	// by the work-group compilation pass, across every kernel compilation in
+	// the process.
+	WGRegions int64
+	WGKernels int64
 }
 
 // BackendSnapshot returns the process-wide backend counters.
 func BackendSnapshot() BackendCounters {
 	return BackendCounters{
-		ClosureWGs:  backendCtr.closureWGs.Load(),
-		InterpWGs:   backendCtr.interpWGs.Load(),
-		FusedInstrs: backendCtr.fusedInstrs.Load(),
-		TotalInstrs: backendCtr.totalInstrs.Load(),
+		ClosureWGs:    backendCtr.closureWGs.Load(),
+		InterpWGs:     backendCtr.interpWGs.Load(),
+		FusedInstrs:   backendCtr.fusedInstrs.Load(),
+		TotalInstrs:   backendCtr.totalInstrs.Load(),
+		WGLoopWGs:     backendCtr.wgLoopWGs.Load(),
+		WGFallbackWGs: backendCtr.wgFallbackWGs.Load(),
+		WGRegions:     backendCtr.wgRegions.Load(),
+		WGKernels:     backendCtr.wgKernels.Load(),
 	}
 }
 

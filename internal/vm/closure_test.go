@@ -37,6 +37,8 @@ func TestParseBackend(t *testing.T) {
 		{"interpreter", BackendInterp, true},
 		{"closure", BackendClosure, true},
 		{"closures", BackendClosure, true},
+		{"wg", BackendWG, true},
+		{"workgroup", BackendWG, true},
 		{"auto", BackendAuto, true},
 		{"", BackendAuto, true},
 		{"jit", BackendAuto, false},
@@ -47,7 +49,8 @@ func TestParseBackend(t *testing.T) {
 			t.Errorf("ParseBackend(%q) = %v, %v; want %v, ok=%v", c.in, got, err, c.want, c.ok)
 		}
 	}
-	if BackendInterp.String() != "interp" || BackendClosure.String() != "closure" || BackendAuto.String() != "auto" {
+	if BackendInterp.String() != "interp" || BackendClosure.String() != "closure" ||
+		BackendWG.String() != "wg" || BackendAuto.String() != "auto" {
 		t.Errorf("Backend.String round-trip broken")
 	}
 }
@@ -234,7 +237,7 @@ func TestExecLaunchAllocs(t *testing.T) {
 	args := []Arg{BufArg(a), BufArg(c), FloatArg(1.5), IntArg(m), IntArg(n)}
 	nd := NewNDRange2D(n, n, 4, 4)
 	defer SetWorkers(0)
-	for _, be := range []Backend{BackendInterp, BackendClosure} {
+	for _, be := range []Backend{BackendInterp, BackendClosure, BackendWG} {
 		SetWorkers(1) // sequential path: the parallel engine's goroutines allocate by design
 		run := func() {
 			if _, err := k.ExecLaunch(nd, args, ExecOpts{Backend: be}); err != nil {

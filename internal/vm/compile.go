@@ -53,6 +53,7 @@ func Compile(ki *clc.KernelInfo) (*Kernel, error) {
 	c.emit(Instr{Op: opRET})
 	c.finalize()
 	c.k.buildClosures()
+	c.k.buildWG()
 	return c.k, nil
 }
 

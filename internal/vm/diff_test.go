@@ -10,16 +10,21 @@ import (
 )
 
 // Differential testing: generate random MiniCL kernels, execute them through
-// the bytecode compiler with BOTH VM backends (switch interpreter and fused
-// closures) and through the independent AST interpreter (ref.go), and
-// require bit-identical buffer contents — plus identical Stats between the
-// two VM backends, since Stats feed the virtual-time model. A
-// miscompilation would have to be mirrored by an identical bug in the other
-// two executors to slip through.
+// the bytecode compiler with ALL VM backends (switch interpreter, fused
+// closures, and the lockstep work-group engine) and through the independent
+// AST interpreter (ref.go), and require bit-identical buffer contents — plus
+// identical Stats between the VM backends, since Stats feed the virtual-time
+// model. A miscompilation would have to be mirrored by an identical bug in
+// the other executors to slip through. The wg backend decides per work-group
+// whether the lockstep engine may run (noninterference certificate) and
+// otherwise falls back to the closure path, so its leg exercises both the
+// engine and the fallback seam; a counter delta asserts the engine actually
+// ran for some seeds.
 
 func TestDifferentialVMvsReference(t *testing.T) {
 	const trials = 50
 	n := 32
+	wgBefore := BackendSnapshot().WGLoopWGs
 	for seed := 0; seed < trials; seed++ {
 		src := GenProgram(rand.New(rand.NewSource(int64(seed))))
 
@@ -59,6 +64,7 @@ func TestDifferentialVMvsReference(t *testing.T) {
 		}
 		fbVM, ibVM, stI, vmErr := runVM(BackendInterp)
 		fbCl, ibCl, stC, clErr := runVM(BackendClosure)
+		fbWG, ibWG, stW, wgErr := runVM(BackendWG)
 
 		ref, err := NewRefExec(ki)
 		if err != nil {
@@ -77,6 +83,9 @@ func TestDifferentialVMvsReference(t *testing.T) {
 		if (vmErr == nil) != (clErr == nil) {
 			t.Fatalf("seed %d: backend error disagreement: interp=%v closure=%v\n%s", seed, vmErr, clErr, src)
 		}
+		if (vmErr == nil) != (wgErr == nil) {
+			t.Fatalf("seed %d: backend error disagreement: interp=%v wg=%v\n%s", seed, vmErr, wgErr, src)
+		}
 		if vmErr != nil {
 			continue
 		}
@@ -84,8 +93,15 @@ func TestDifferentialVMvsReference(t *testing.T) {
 			t.Fatalf("seed %d: Stats diverge between backends:\ninterp:  %+v\nclosure: %+v\n%s",
 				seed, stI, stC, src)
 		}
+		if stI != stW {
+			t.Fatalf("seed %d: Stats diverge between backends:\ninterp: %+v\nwg:     %+v\n%s",
+				seed, stI, stW, src)
+		}
 		if string(fbVM) != string(fbCl) || string(ibVM) != string(ibCl) {
 			t.Fatalf("seed %d: closure backend buffers differ from interpreter\n%s", seed, src)
+		}
+		if string(fbVM) != string(fbWG) || string(ibVM) != string(ibWG) {
+			t.Fatalf("seed %d: wg backend buffers differ from interpreter\n%s", seed, src)
 		}
 		for i := 0; i < 4*n; i += 4 {
 			vb := binary.LittleEndian.Uint32(fbVM[i:])
@@ -102,10 +118,13 @@ func TestDifferentialVMvsReference(t *testing.T) {
 			}
 		}
 	}
+	if BackendSnapshot().WGLoopWGs == wgBefore {
+		t.Error("no generated seed exercised the lockstep wg engine (all fell back)")
+	}
 }
 
 func TestDifferentialUndoRollback(t *testing.T) {
-	// Property, for both backends: executing any generated work-group with
+	// Property, for every backend: executing any generated work-group with
 	// an undo log and rolling back must restore the buffers exactly, and
 	// the pre-rollback buffers must match between backends (the closure
 	// backend records identical undo entries).
@@ -122,8 +141,8 @@ func TestDifferentialUndoRollback(t *testing.T) {
 			t.Fatal(err)
 		}
 		nd := NewNDRange1D(n, 32)
-		var applied [2]string
-		for bi, be := range []Backend{BackendInterp, BackendClosure} {
+		var applied [3]string
+		for bi, be := range []Backend{BackendInterp, BackendClosure, BackendWG} {
 			fb := make([]byte, 4*n)
 			ib := make([]byte, 4*n)
 			r := rand.New(rand.NewSource(int64(seed)))
@@ -145,7 +164,7 @@ func TestDifferentialUndoRollback(t *testing.T) {
 				t.Fatalf("seed %d (%v): rollback did not restore buffers\n%s", seed, be, src)
 			}
 		}
-		if applied[0] != applied[1] {
+		if applied[0] != applied[1] || applied[0] != applied[2] {
 			t.Fatalf("seed %d: pre-rollback buffers differ between backends\n%s", seed, src)
 		}
 	}
@@ -198,9 +217,10 @@ func TestDifferentialDeferredWrites(t *testing.T) {
 		inplace, stPlain, errPlain := run(BackendInterp, false)
 		defI, stI, errI := run(BackendInterp, true)
 		defC, stC, errC := run(BackendClosure, true)
-		if (errPlain == nil) != (errI == nil) || (errI == nil) != (errC == nil) {
-			t.Fatalf("seed %d: error disagreement: plain=%v definterp=%v defclosure=%v\n%s",
-				seed, errPlain, errI, errC, src)
+		defW, stW, errW := run(BackendWG, true)
+		if (errPlain == nil) != (errI == nil) || (errI == nil) != (errC == nil) || (errI == nil) != (errW == nil) {
+			t.Fatalf("seed %d: error disagreement: plain=%v definterp=%v defclosure=%v defwg=%v\n%s",
+				seed, errPlain, errI, errC, errW, src)
 		}
 		if errPlain != nil {
 			continue
@@ -209,8 +229,15 @@ func TestDifferentialDeferredWrites(t *testing.T) {
 			t.Fatalf("seed %d: deferred Stats diverge between backends:\ninterp:  %+v\nclosure: %+v\n%s",
 				seed, stI, stC, src)
 		}
+		if stI != stW {
+			t.Fatalf("seed %d: deferred Stats diverge between backends:\ninterp: %+v\nwg:     %+v\n%s",
+				seed, stI, stW, src)
+		}
 		if defI != defC {
 			t.Fatalf("seed %d: deferred+commit buffers differ between backends\n%s", seed, src)
+		}
+		if defI != defW {
+			t.Fatalf("seed %d: deferred+commit buffers differ between interp and wg\n%s", seed, src)
 		}
 		if defI != inplace {
 			t.Fatalf("seed %d: deferred+commit differs from in-place execution\n%s", seed, src)

@@ -55,10 +55,30 @@ func (k *Kernel) Disasm() string {
 	for _, s := range k.Fused {
 		fuseAt[s.Start] = s
 	}
+	// Whole-work-group compilation annotations: a marker line at every
+	// barrier-region entry and a wg-loop suffix at every block the lockstep
+	// engine dispatches as a single banked step sequence.
+	wgLoopAt := map[int]FusedSpan{}
+	regionAt := map[int]int{}
+	if k.wg != nil {
+		for _, s := range k.wg.spans {
+			wgLoopAt[s.Start] = s
+		}
+		for ri := range k.wg.regions {
+			regionAt[k.wg.regions[ri].entry] = ri
+		}
+	}
 	for pc, in := range k.Code {
+		if ri, ok := regionAt[pc]; ok {
+			fmt.Fprintf(&b, "      ; -- wg region %d (%d mem accesses) --\n",
+				ri, len(k.wg.regions[ri].accs))
+		}
 		line := disasmInstr(in)
 		if s, ok := fuseAt[pc]; ok {
 			line = fmt.Sprintf("%s  ; fuse %s (%d instrs)", line, s.Name, s.Len)
+		}
+		if s, ok := wgLoopAt[pc]; ok {
+			line = fmt.Sprintf("%s  ; wg.loop (%d instrs)", line, s.Len)
 		}
 		fmt.Fprintf(&b, "%4d  %s\n", pc, line)
 	}

@@ -157,8 +157,21 @@ func (k *Kernel) ExecWorkGroup(nd NDRange, group [3]int, args []Arg, opts ExecOp
 // to the backend the options select. Both paths are closure-free on the per
 // work-item hot path so warm executions do not allocate.
 func (k *Kernel) execWG(nd NDRange, group [3]int, args []Arg, opts ExecOpts, sc *wgScratch) (Stats, error) {
-	if opts.Backend.resolve() == BackendClosure && k.clos != nil {
-		return k.execWGClosure(nd, group, args, opts, sc)
+	switch opts.Backend.resolve() {
+	case BackendWG:
+		if k.wg != nil && k.wgCertified(&sc.cert, nd, args) {
+			return k.execWGLockstep(nd, group, args, opts, sc)
+		}
+		// Uncompiled or uncertified: count the fallback and take the best
+		// per-item path available.
+		backendCtr.wgFallbackWGs.Add(1)
+		if k.clos != nil {
+			return k.execWGClosure(nd, group, args, opts, sc)
+		}
+	case BackendClosure:
+		if k.clos != nil {
+			return k.execWGClosure(nd, group, args, opts, sc)
+		}
 	}
 	backendCtr.interpWGs.Add(1)
 

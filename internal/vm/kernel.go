@@ -185,6 +185,11 @@ type Kernel struct {
 	Fused []FusedSpan
 	clos  []closFn
 
+	// wg is the whole-work-group compilation (lockstep barrier-region
+	// loops over SoA register banks) — nil when buildWG bailed out and
+	// the wg backend must fall back to the per-item paths.
+	wg *wgProgram
+
 	// scratch pools per-work-group execution state (*wgScratch). A compiled
 	// kernel is otherwise immutable, so one Kernel may execute work-groups
 	// from many goroutines concurrently.

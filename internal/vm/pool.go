@@ -49,6 +49,8 @@ type wgScratch struct {
 	locals [][]byte
 	tr     *memTracker
 	cm     *cmach
+	wm     *wmach
+	cert   wgCert
 }
 
 func (k *Kernel) getScratch() *wgScratch {

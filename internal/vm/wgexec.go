@@ -1,0 +1,492 @@
+package vm
+
+// Lockstep whole-work-group execution.
+//
+// The engine keeps the work-items of one group partitioned into sets by
+// current basic-block leader pc. Each iteration pops the set with the
+// smallest pc (merging any sets that meet at the same block), charges the
+// block against every member's step budget, runs the block's banked steps —
+// each a single call that loops over the whole set against the SoA register
+// banks — and then applies the terminator: fallthrough/jump move the set,
+// conditional branches partition it, RET retires members, and barriers park
+// them until the phase ends.
+//
+// Under the noninterference certificate (wgcert.go) any schedule that
+// preserves each work-item's own program order produces identical buffers
+// and register trajectories, so the min-pc policy is purely a locality
+// heuristic. Stats come out identical to the interpreter too: every counter
+// the banked steps touch is an order-independent sum, mask, or min/max —
+// except the memory-locality tracker, which is order-sensitive, so the
+// steps record each item's (memID, offset) stream in program order and the
+// phase end replays the streams through the ordinary memTracker in exactly
+// the interpreter's per-item, per-warp call sequence.
+//
+// Error parity is by presence, not by text: all engines error on the same
+// launches (each item's trace, including its step budget, is identical),
+// but the failing work-item the message names — and buffer contents on the
+// error path — may differ because set order decides who trips first. This
+// mirrors the closure backend's documented budget-pc divergence, and tests
+// compare buffers only on error-free runs.
+
+// wgAcc is one recorded global access, replayed through the memTracker at
+// phase end.
+type wgAcc struct {
+	id  int32
+	off int32
+}
+
+// wgSet is an ordered set of work-items whose next block starts at pc.
+type wgSet struct {
+	pc    int
+	items []int32
+}
+
+// wstep executes one (possibly fused) instruction for every work-item in
+// set. It returns false when execution failed; the error is in wmach.err.
+type wstep func(m *wmach, set []int32) bool
+
+// wmach is the lockstep engine's execution context: SoA register banks plus
+// the per-group state the other backends keep in cmach.
+type wmach struct {
+	k      *Kernel
+	nd     NDRange
+	group  [3]int
+	args   []Arg
+	locals [][]byte
+	tr     *memTracker
+	stat   Stats
+	st     *Stats
+	def    *DeferredWrites
+	undo   *UndoLog
+
+	maxSteps int64
+	err      error
+
+	n  int       // work-items per group
+	ib []int64   // int banks: ib[reg*n + t]
+	fb []float64 // float banks: fb[reg*n + t]
+	// priv[slot] holds n per-item slabs back to back; item t's slab is
+	// priv[slot][t*privSz[slot] : (t+1)*privSz[slot]].
+	priv   [][]byte
+	privSz []int
+	lid0   []int64 // local ids per item
+	lid1   []int64
+	lid2   []int64
+	steps  []int64 // per-item step budget
+
+	rec  [][]wgAcc // per-item (memID, off) streams for this phase
+	work []*wgSet
+	free []*wgSet
+
+	// Uniform-control-flow fast paths. full is true while the set being
+	// dispatched is the whole group in ascending order, letting hot steps
+	// run bounds-check-free range loops; uniform is true while the current
+	// phase has never partitioned, enabling the transposed tracker replay;
+	// budgetScalar charges one shared step counter until the group first
+	// diverges.
+	full         bool
+	uniform      bool
+	budgetScalar bool
+	stepsAll     int64
+	lastB        []int32 // transposed tracker: last offset per (memID, item)
+	seenB        []bool  // lastB validity per (memID, item)
+
+	parked    int
+	done      int
+	barrierPC int
+	diverged  bool
+}
+
+// release drops references to caller-owned memory so the pooled machine
+// never retains buffers or stats beyond the work-group that used it.
+func (m *wmach) release() {
+	m.args, m.locals, m.tr, m.st = nil, nil, nil, nil
+	m.def, m.undo, m.err = nil, nil, nil
+}
+
+// wmFor returns the scratch's lockstep machine sized and zeroed for one
+// work-group of k with n work-items.
+func (s *wgScratch) wmFor(k *Kernel, n int) *wmach {
+	if s.wm == nil {
+		s.wm = &wmach{}
+	}
+	m := s.wm
+	m.n = n
+	m.ib = sizedI64(m.ib, k.NumI*n)
+	m.fb = sizedF64(m.fb, k.NumF*n)
+	m.steps = sizedI64(m.steps, n)
+	m.lid0 = growI64(m.lid0, n)
+	m.lid1 = growI64(m.lid1, n)
+	m.lid2 = growI64(m.lid2, n)
+	if len(m.priv) != len(k.PrivArrs) {
+		m.priv = make([][]byte, len(k.PrivArrs))
+		m.privSz = make([]int, len(k.PrivArrs))
+	}
+	for i, pa := range k.PrivArrs {
+		sz := pa.Len * pa.Elem.Size()
+		m.privSz[i] = sz
+		tot := sz * n
+		if cap(m.priv[i]) < tot {
+			m.priv[i] = make([]byte, tot)
+		} else {
+			m.priv[i] = m.priv[i][:tot]
+			clear(m.priv[i])
+		}
+	}
+	for len(m.rec) < n {
+		m.rec = append(m.rec, nil)
+	}
+	m.rec = m.rec[:n]
+	for t := range m.rec {
+		m.rec[t] = m.rec[t][:0]
+	}
+	m.lastB = growI32(m.lastB, k.NumMemOps*n)
+	m.seenB = sizedBool(m.seenB, k.NumMemOps*n)
+	m.free = append(m.free, m.work...)
+	m.work = m.work[:0]
+	m.parked, m.done = 0, 0
+	m.stepsAll = 0
+	m.budgetScalar = true
+	m.diverged = false
+	m.err = nil
+	return m
+}
+
+func sizedI64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+func sizedF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+func growI64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func sizedBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+func (m *wmach) takeSet(pc int) *wgSet {
+	var s *wgSet
+	if ln := len(m.free); ln > 0 {
+		s = m.free[ln-1]
+		m.free = m.free[:ln-1]
+	} else {
+		s = &wgSet{}
+	}
+	s.pc = pc
+	s.items = s.items[:0]
+	return s
+}
+
+func (m *wmach) freeSet(s *wgSet) {
+	m.free = append(m.free, s)
+}
+
+// push enqueues s, merging it into an already-queued set at the same pc
+// (concatenation order is irrelevant under the certificate) and dropping it
+// when empty.
+func (m *wmach) push(s *wgSet) {
+	if len(s.items) == 0 {
+		m.freeSet(s)
+		return
+	}
+	for _, q := range m.work {
+		if q.pc == s.pc {
+			q.items = append(q.items, s.items...)
+			m.freeSet(s)
+			return
+		}
+	}
+	m.work = append(m.work, s)
+}
+
+// popMin removes and returns the queued set with the smallest pc.
+func (m *wmach) popMin() *wgSet {
+	best := 0
+	for i := 1; i < len(m.work); i++ {
+		if m.work[i].pc < m.work[best].pc {
+			best = i
+		}
+	}
+	s := m.work[best]
+	last := len(m.work) - 1
+	m.work[best] = m.work[last]
+	m.work[last] = nil
+	m.work = m.work[:last]
+	return s
+}
+
+// recAcc records one global access of item t for the phase-end tracker
+// replay.
+func (m *wmach) recAcc(t int32, id, off int32) {
+	if id >= 0 {
+		m.rec[t] = append(m.rec[t], wgAcc{id: id, off: off})
+	}
+}
+
+// replay drives the recorded access streams through the memTracker in the
+// interpreter's exact order: items ascending, each opening a warp slot,
+// each stream in program order.
+func (m *wmach) replay() {
+	for t := 0; t < m.n; t++ {
+		first := t%warpSize == 0
+		m.tr.nextWI(first)
+		for _, a := range m.rec[t] {
+			m.tr.access(a.id, a.off, first, m.st)
+		}
+		m.rec[t] = m.rec[t][:0]
+	}
+}
+
+// replayFast is the transposed replay for phases that never partitioned:
+// every item recorded the same static access sequence, so the j-th access
+// of every stream shares one memID and one occurrence index. The CPU
+// stride stats depend only on each item's own stream (banked last/seen
+// state), and the warp comparison of item t's occ-th access against item
+// t-1's reduces to comparing the j-th offsets of adjacent streams — so one
+// column-major pass computes the memTracker's exact totals with no
+// occurrence bookkeeping and no per-memID offset lists.
+func (m *wmach) replayFast() {
+	n := m.n
+	if n == 0 {
+		return
+	}
+	stream0 := m.rec[0]
+	for j := range stream0 {
+		id := int(stream0[j].id)
+		base := id * n
+		lastB := m.lastB[base : base+n]
+		seenB := m.seenB[base : base+n]
+		var seq, rand, warp int64
+		var prevOff int32
+		for t := 0; t < n; t++ {
+			off := m.rec[t][j].off
+			if seenB[t] {
+				d := off - lastB[t]
+				if d < 0 {
+					d = -d
+				}
+				if d <= cacheLineBytes {
+					seq++
+				} else {
+					rand++
+				}
+			} else {
+				rand++
+				seenB[t] = true
+			}
+			lastB[t] = off
+			if t%warpSize == 0 {
+				warp++
+			} else {
+				d := off - prevOff
+				if d < 0 {
+					d = -d
+				}
+				if d > 4 {
+					warp++
+				}
+			}
+			prevOff = off
+		}
+		m.st.SeqBytes += 4 * seq
+		m.st.RandBytes += 4 * rand
+		m.st.WarpTransactions += warp
+	}
+	for t := 0; t < n; t++ {
+		m.rec[t] = m.rec[t][:0]
+	}
+	// The banked stride state is per phase, like the memTracker's
+	// (nextWI resets it for every item at each phase boundary).
+	clear(m.seenB)
+}
+
+// execWGLockstep executes one certified work-group on the lockstep engine.
+func (k *Kernel) execWGLockstep(nd NDRange, group [3]int, args []Arg, opts ExecOpts, sc *wgScratch) (Stats, error) {
+	backendCtr.wgLoopWGs.Add(1)
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = defaultMaxSteps
+	}
+	nWI := nd.WorkItemsPerGroup()
+	m := sc.wmFor(k, nWI)
+	m.k = k
+	m.nd, m.group = nd, group
+	m.args = args
+	m.locals = sc.localsFor(k)
+	m.tr = sc.trackerFor(k)
+	m.stat = Stats{WorkGroups: 1, WorkItems: nWI}
+	m.st = &m.stat
+	m.def, m.undo = opts.Def, opts.Undo
+	m.maxSteps = maxSteps
+
+	err := m.runGroup()
+	st := m.stat
+	m.release()
+	return st, err
+}
+
+// runGroup runs the whole group phase by phase until every item returns.
+func (m *wmach) runGroup() error {
+	k := m.k
+	wg := k.wg
+	n := m.n
+
+	lx, ly := m.nd.LocalSize[0], m.nd.LocalSize[1]
+	for t := 0; t < n; t++ {
+		m.lid0[t] = int64(t % lx)
+		m.lid1[t] = int64((t / lx) % ly)
+		m.lid2[t] = int64(t / (lx * ly))
+	}
+	for i, p := range k.Params {
+		switch p.Kind {
+		case ArgInt:
+			bank := m.ib[int(p.IReg)*n : int(p.IReg)*n+n]
+			v := m.args[i].I
+			for t := range bank {
+				bank[t] = v
+			}
+		case ArgFloat:
+			bank := m.fb[int(p.FReg)*n : int(p.FReg)*n+n]
+			v := float64(float32(m.args[i].F))
+			for t := range bank {
+				bank[t] = v
+			}
+		}
+	}
+
+	entry := 0
+	for {
+		m.parked, m.barrierPC = 0, -1
+		m.uniform = true
+		s := m.takeSet(entry)
+		for t := 0; t < n; t++ {
+			s.items = append(s.items, int32(t))
+		}
+		m.work = append(m.work, s)
+
+		for len(m.work) > 0 {
+			s := m.popMin()
+			blk := wg.blocks[s.pc]
+			m.full = m.uniform && len(s.items) == n
+			if m.budgetScalar {
+				if m.full {
+					if m.stepsAll += blk.nInstr; m.stepsAll > m.maxSteps {
+						m.err = &execError{k.Name, blk.start, "instruction budget exceeded (possible infinite loop)"}
+						m.freeSet(s)
+						return m.err
+					}
+				} else {
+					// First divergent block of the group: fan the shared
+					// counter out so every item keeps its exact total.
+					for t := range m.steps {
+						m.steps[t] = m.stepsAll
+					}
+					m.budgetScalar = false
+				}
+			}
+			if !m.budgetScalar {
+				for _, t := range s.items {
+					if m.steps[t] += blk.nInstr; m.steps[t] > m.maxSteps {
+						m.err = &execError{k.Name, blk.start, "instruction budget exceeded (possible infinite loop)"}
+						m.freeSet(s)
+						return m.err
+					}
+				}
+			}
+			for _, stp := range blk.steps {
+				if !stp(m, s.items) {
+					m.freeSet(s)
+					return m.err
+				}
+			}
+			switch blk.term.kind {
+			case wtFall:
+				s.pc = blk.term.next
+				m.push(s)
+			case wtJmp:
+				m.stat.Branches += int64(len(s.items))
+				s.pc = blk.term.tgt
+				m.push(s)
+			case wtCond:
+				m.stat.Branches += int64(len(s.items))
+				taken := m.takeSet(blk.term.tgt)
+				fall := m.takeSet(blk.term.next)
+				base := int(blk.term.condReg) * n
+				jz := blk.term.jz
+				ib := m.ib
+				for _, t := range s.items {
+					if (ib[base+int(t)] == 0) == jz {
+						taken.items = append(taken.items, t)
+					} else {
+						fall.items = append(fall.items, t)
+					}
+				}
+				if len(taken.items) > 0 && len(fall.items) > 0 {
+					m.uniform = false
+				}
+				m.freeSet(s)
+				m.push(taken)
+				m.push(fall)
+			case wtRet:
+				m.done += len(s.items)
+				m.freeSet(s)
+			case wtBarrier:
+				if m.barrierPC == -1 {
+					m.barrierPC = blk.term.next
+				} else if m.barrierPC != blk.term.next {
+					m.diverged = true
+				}
+				m.parked += len(s.items)
+				m.freeSet(s)
+			}
+		}
+
+		if m.diverged {
+			m.err = &execError{k.Name, m.barrierPC, "work-items diverged to different barriers"}
+			return m.err
+		}
+		if m.uniform {
+			m.replayFast()
+		} else {
+			m.replay()
+		}
+		if m.parked == 0 {
+			return nil
+		}
+		if m.done > 0 {
+			m.err = &execError{k.Name, m.barrierPC, "barrier not reached by all work-items"}
+			return m.err
+		}
+		m.stat.Barriers++
+		entry = m.barrierPC
+	}
+}

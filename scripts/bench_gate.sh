@@ -1,7 +1,8 @@
 #!/bin/sh
 # Bench-regression gate: re-run the quick-scale experiment suite and compare
-# each experiment's wall clock against the committed BENCH_02.json baseline
-# (quick-scale suite at the default closure backend: like-with-like).
+# each experiment's wall clock against the committed BENCH_03.json baseline
+# (quick-scale suite at the wg backend: like-with-like). BENCH_01.json and
+# BENCH_02.json are the historical interpreter- and closure-era baselines.
 # Exits non-zero when any experiment regressed past the tolerance.
 #
 #   BENCH_GATE_TOL_PCT   allowed regression, percent (default 25)
@@ -21,6 +22,6 @@ tmp="$(mktemp -t benchgate.XXXXXX.json)"
 trap 'rm -f "$tmp"' EXIT
 
 echo "bench_gate: running quick-scale suite (tolerance ${tol}%)..."
-go run ./cmd/fluidibench -quick -jsonout "$tmp" all >/dev/null
+go run ./cmd/fluidibench -quick -backend=wg -jsonout "$tmp" all >/dev/null
 
-go run ./cmd/benchgate -baseline BENCH_02.json -current "$tmp" -tol "$tol" -min "$min"
+go run ./cmd/benchgate -baseline BENCH_03.json -current "$tmp" -tol "$tol" -min "$min"
