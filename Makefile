@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check fmt-check lint build vet test race bench-smoke bench bench-baseline bench-baseline-closure bench-baseline-interp bench-gate
+.PHONY: check fmt-check lint lint-json build vet test race bench-smoke bench bench-baseline bench-baseline-closure bench-baseline-interp bench-gate
 
 # The fast CI gate: formatting, build, vet, tests, kernel lint, benchmark
 # smoke. The race-detector suite is deliberately NOT in here — it reruns
 # every experiment and takes many minutes, so CI runs `make race` as a
 # separate parallel job instead of serializing it behind these fast gates.
 # Run `make check race` locally for the full gate.
-check: fmt-check build vet test lint bench-smoke
+check: fmt-check build vet test lint lint-json bench-smoke
 
 fmt-check:
 	@files=$$(gofmt -l .); if [ -n "$$files" ]; then \
@@ -15,7 +15,13 @@ fmt-check:
 
 # Static kernel lint: built-in Polybench + merge kernels and on-disk .cl files.
 lint:
-	$(GO) run ./cmd/fluidilint -builtin examples/quickstart/kernel.cl
+	$(GO) run ./cmd/fluidilint -builtin $(wildcard examples/*/*.cl)
+
+# The same sources through the machine-readable reporter: -json exits
+# non-zero on any diagnostic (including the strided out-of-bounds lint), so
+# CI fails on new findings; the JSON schema itself is pinned by Go tests.
+lint-json:
+	$(GO) run ./cmd/fluidilint -json -builtin $(wildcard examples/*/*.cl) >/dev/null
 
 build:
 	$(GO) build ./...

@@ -192,6 +192,20 @@ type wallEntry struct {
 	WGFallbackWGs int64 `json:"wg_fallback_wgs"`
 	WGKernels     int64 `json:"wg_kernels"`
 	WGRegions     int64 `json:"wg_regions"`
+	// Strided-certificate activity: launches whose CPU work-group splitting
+	// was un-vetoed by the disjointness certificate, work-groups the
+	// certificate admitted to the lockstep engine, and the per-reason
+	// attribution of every wg-backend fallback.
+	SplitsUnvetoed    int64 `json:"splits_unvetoed"`
+	WGStridedWGs      int64 `json:"wg_strided_wgs"`
+	WGCertRejShape    int64 `json:"wg_cert_reject_shape"`
+	WGCertRejAlias    int64 `json:"wg_cert_reject_alias"`
+	WGCertRejNoSum    int64 `json:"wg_cert_reject_no_summary"`
+	WGCertRejLocal    int64 `json:"wg_cert_reject_local_store"`
+	WGCertRejUnkStore int64 `json:"wg_cert_reject_unknown_store"`
+	WGCertRejUnkRead  int64 `json:"wg_cert_reject_unknown_read"`
+	WGCertRejOverlap  int64 `json:"wg_cert_reject_overlap"`
+	WGCertRejBudget   int64 `json:"wg_cert_reject_budget"`
 }
 
 func newWallEntry(id string, wall float64, c core.Counters, s trace.GlobalSummary) wallEntry {
@@ -220,6 +234,16 @@ func newWallEntry(id string, wall float64, c core.Counters, s trace.GlobalSummar
 		WGFallbackWGs:     c.WGFallbackWGs,
 		WGKernels:         c.WGKernels,
 		WGRegions:         c.WGRegions,
+		SplitsUnvetoed:    c.SplitsUnvetoed,
+		WGStridedWGs:      c.WGStridedWGs,
+		WGCertRejShape:    c.WGCertRejShape,
+		WGCertRejAlias:    c.WGCertRejAlias,
+		WGCertRejNoSum:    c.WGCertRejNoSum,
+		WGCertRejLocal:    c.WGCertRejLocal,
+		WGCertRejUnkStore: c.WGCertRejUnkStore,
+		WGCertRejUnkRead:  c.WGCertRejUnkRead,
+		WGCertRejOverlap:  c.WGCertRejOverlap,
+		WGCertRejBudget:   c.WGCertRejBudget,
 	}
 }
 
@@ -365,13 +389,15 @@ func runDist(quick, csv bool) error {
 		Title: "FluidiCL work distribution and overhead breakdown (paper §5.5)",
 		Note: "per-benchmark FluidiCL run: work-groups executed per device (app kernels only),\n" +
 			"virtual busy and link time, bytes over the links, and compute overlap",
-		Columns: []string{"Benchmark", "CPU-WGs", "GPU-WGs", "CPU-share", "CPU-busy", "GPU-busy", "link-busy", "link-wait", "H2D-KB", "D2H-KB", "overlap", "time-ms"},
+		Columns: []string{"Benchmark", "CPU-WGs", "GPU-WGs", "CPU-share", "CPU-busy", "GPU-busy", "link-busy", "link-wait", "H2D-KB", "D2H-KB", "overlap", "wg-fb", "wg-reject", "time-ms"},
 	}
 	for _, b := range benches {
+		before := core.CounterSnapshot()
 		res, err := sched.RunFluidiCL(m, b.App, core.Options{})
 		if err != nil {
 			return fmt.Errorf("%s: %w", b.Name, err)
 		}
+		delta := core.CounterSnapshot().Sub(before)
 		if err := b.Verify(res.Outputs); err != nil {
 			return fmt.Errorf("%s: wrong results: %w", b.Name, err)
 		}
@@ -397,10 +423,39 @@ func runDist(quick, csv bool) error {
 			fmt.Sprintf("%.1f", float64(cpu.BytesH2D+gpu.BytesH2D)/1024),
 			fmt.Sprintf("%.1f", float64(cpu.BytesD2H+gpu.BytesD2H)/1024),
 			fmt.Sprintf("%.0f%%", res.Summary.OverlapFrac()*100),
+			fmt.Sprintf("%d", delta.WGFallbackWGs),
+			dominantReject(delta),
 			fmt.Sprintf("%.3f", res.Time*1e3))
 	}
 	emit(t, csv)
 	return nil
+}
+
+// dominantReject names the most frequent wg-backend certificate rejection
+// in a counter delta, or "-" when nothing fell back (e.g. under a
+// non-lockstep backend, where no certificate runs at all).
+func dominantReject(c core.Counters) string {
+	type rc struct {
+		name string
+		n    int64
+	}
+	all := []rc{
+		{"shape", c.WGCertRejShape},
+		{"alias", c.WGCertRejAlias},
+		{"no_summary", c.WGCertRejNoSum},
+		{"local_store", c.WGCertRejLocal},
+		{"unknown_store", c.WGCertRejUnkStore},
+		{"unknown_read", c.WGCertRejUnkRead},
+		{"overlap", c.WGCertRejOverlap},
+		{"budget", c.WGCertRejBudget},
+	}
+	best := rc{name: "-"}
+	for _, r := range all {
+		if r.n > best.n {
+			best = r
+		}
+	}
+	return best.name
 }
 
 func usage() {

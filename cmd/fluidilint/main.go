@@ -9,9 +9,11 @@
 //	fluidilint -builtin             # lint every shipped kernel source
 //	                                # (Polybench suite + the merge kernel)
 //	fluidilint -summary file.cl     # also print buffer access summaries
+//	fluidilint -json file.cl        # machine-readable diags + summaries
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,11 +23,129 @@ import (
 	"fluidicl/internal/polybench"
 )
 
+// The -json output mirrors the analyzer's full result: every diagnostic
+// and, per kernel, the per-argument access classification with the strided
+// reference/reject lists the runtime's transfer planner and certificates
+// consume. Reasons in "rejects" are the analyzer's stable machine-readable
+// reason strings (non-affine, loop-carried, indirect, iv-bound, iv-step).
+type jsonRef struct {
+	Store    bool   `json:"store"`
+	AlsoRead bool   `json:"also_read,omitempty"`
+	MayOnly  bool   `json:"may_only,omitempty"`
+	Guards   int    `json:"guards,omitempty"`
+	Form     string `json:"form"`
+	Pos      string `json:"pos"`
+}
+
+type jsonReject struct {
+	Reason string `json:"reason"`
+	Store  bool   `json:"store"`
+	Pos    string `json:"pos"`
+}
+
+type jsonArg struct {
+	Name           string       `json:"name"`
+	Index          int          `json:"index"`
+	Space          string       `json:"space"`
+	Elem           string       `json:"elem"`
+	Read           bool         `json:"read"`
+	Written        bool         `json:"written"`
+	SlotExact      bool         `json:"slot_exact"`
+	WritesComplete bool         `json:"writes_complete"`
+	ReadsComplete  bool         `json:"reads_complete"`
+	Refs           []jsonRef    `json:"refs,omitempty"`
+	Rejects        []jsonReject `json:"rejects,omitempty"`
+}
+
+type jsonKernel struct {
+	Name             string    `json:"name"`
+	Params           []string  `json:"params"`
+	Races            int       `json:"races"`
+	LocalStores      bool      `json:"local_stores"`
+	DivergentBarrier bool      `json:"divergent_barrier"`
+	Args             []jsonArg `json:"args"`
+}
+
+type jsonDiag struct {
+	Pos     string `json:"pos"`
+	Message string `json:"message"`
+}
+
+type jsonFile struct {
+	Name    string       `json:"name"`
+	Error   string       `json:"error,omitempty"`
+	Diags   []jsonDiag   `json:"diags"`
+	Kernels []jsonKernel `json:"kernels"`
+}
+
+type jsonReport struct {
+	Files     []jsonFile `json:"files"`
+	DiagCount int        `json:"diag_count"`
+}
+
+func jsonify(name string, ps *analysis.ProgramSummary, err error) jsonFile {
+	f := jsonFile{Name: name, Diags: []jsonDiag{}, Kernels: []jsonKernel{}}
+	if err != nil {
+		f.Error = err.Error()
+		return f
+	}
+	for _, d := range ps.Diags {
+		f.Diags = append(f.Diags, jsonDiag{Pos: fmt.Sprintf("%s:%s", d.File, d.Pos), Message: d.Msg})
+	}
+	for _, kn := range ps.Order {
+		ks := ps.Kernels[kn]
+		jk := jsonKernel{
+			Name:             ks.Name,
+			Params:           ks.Params,
+			Races:            ks.Races,
+			LocalStores:      ks.LocalStores,
+			DivergentBarrier: ks.HasDivergentBarrier(),
+			Args:             []jsonArg{},
+		}
+		for i := range ks.Args {
+			a := &ks.Args[i]
+			ja := jsonArg{
+				Name:           a.Name,
+				Index:          a.Index,
+				Space:          a.Space.String(),
+				Elem:           a.Elem.String(),
+				Read:           a.Read,
+				Written:        a.Written,
+				SlotExact:      a.SlotExact,
+				WritesComplete: a.WritesComplete(),
+				ReadsComplete:  a.ReadsComplete(),
+			}
+			for j := range a.Refs {
+				r := &a.Refs[j]
+				ja.Refs = append(ja.Refs, jsonRef{
+					Store:    r.Store,
+					AlsoRead: r.AlsoRead,
+					MayOnly:  r.MayOnly,
+					Guards:   len(r.Guards),
+					Form:     r.String(ks.Params),
+					Pos:      r.Pos.String(),
+				})
+			}
+			for _, rej := range a.Rejects {
+				ja.Rejects = append(ja.Rejects, jsonReject{
+					Reason: rej.Reason,
+					Store:  rej.Store,
+					Pos:    rej.Pos.String(),
+				})
+			}
+			jk.Args = append(jk.Args, ja)
+		}
+		f.Kernels = append(f.Kernels, jk)
+	}
+	return f
+}
+
 func main() {
 	builtin := flag.Bool("builtin", false, "lint the shipped kernel sources (Polybench suite and the FluidiCL merge kernel)")
 	summary := flag.Bool("summary", false, "print per-kernel buffer access summaries and barrier reports")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report (diags plus per-argument strided summaries) on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: fluidilint [-summary] [-builtin] [file.cl...]\n")
+		fmt.Fprintf(os.Stderr, "usage: fluidilint [-summary] [-json] [-builtin] [file.cl...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -35,19 +155,27 @@ func main() {
 		os.Exit(2)
 	}
 
+	rep := jsonReport{Files: []jsonFile{}}
 	ndiags := 0
 	lint := func(name, src string) {
 		ps, err := analysis.AnalyzeSource(src, name)
+		if *jsonOut {
+			rep.Files = append(rep.Files, jsonify(name, ps, err))
+		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			if !*jsonOut {
+				fmt.Fprintln(os.Stderr, err)
+			}
 			ndiags++
 			return
 		}
-		for _, d := range ps.Diags {
-			fmt.Println(d)
+		if !*jsonOut {
+			for _, d := range ps.Diags {
+				fmt.Println(d)
+			}
 		}
 		ndiags += len(ps.Diags)
-		if *summary {
+		if *summary && !*jsonOut {
 			for _, kn := range ps.Order {
 				fmt.Print(ps.Kernels[kn])
 			}
@@ -69,8 +197,20 @@ func main() {
 		lint(path, string(data))
 	}
 
+	if *jsonOut {
+		rep.DiagCount = ndiags
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "fluidilint:", err)
+			os.Exit(2)
+		}
+	}
+
 	if ndiags > 0 {
-		fmt.Fprintf(os.Stderr, "fluidilint: %d diagnostic(s)\n", ndiags)
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "fluidilint: %d diagnostic(s)\n", ndiags)
+		}
 		os.Exit(1)
 	}
 }

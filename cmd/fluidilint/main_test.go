@@ -1,0 +1,58 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"fluidicl/internal/analysis"
+)
+
+// TestJSONReportSchema pins the -json report shape: diagnostics (including
+// the strided out-of-bounds lint), per-argument strided refs with their
+// rendered forms, and machine-readable reject reasons.
+func TestJSONReportSchema(t *testing.T) {
+	const src = `
+__kernel void mix(__global float* out, __global float* in, __global int* idx, int n) {
+    int g = get_global_id(0);
+    out[g*2 - 4] = in[g];
+    out[idx[g]] = 1.0f;
+}
+`
+	ps, err := analysis.AnalyzeSource(src, "mix.cl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := jsonify("mix.cl", ps, nil)
+	data, err := json.Marshal(jsonReport{Files: []jsonFile{f}, DiagCount: len(ps.Diags)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+
+	if !strings.Contains(s, "provably out of bounds") {
+		t.Errorf("JSON report lacks the strided out-of-bounds diagnostic:\n%s", s)
+	}
+	if !strings.Contains(s, `"reason":"indirect"`) {
+		t.Errorf("JSON report lacks the indirect store reject:\n%s", s)
+	}
+	if !strings.Contains(s, `"writes_complete":false`) {
+		t.Errorf("out must not be writes-complete (indirect store):\n%s", s)
+	}
+	if !strings.Contains(s, `"form":"store 2*gid0 + -4"`) &&
+		!strings.Contains(s, `"form":"store -4 + 2*gid0"`) {
+		t.Errorf("JSON report lacks the rendered strided store form:\n%s", s)
+	}
+
+	var round jsonReport
+	if err := json.Unmarshal(data, &round); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if len(round.Files) != 1 || len(round.Files[0].Kernels) != 1 {
+		t.Fatalf("unexpected report shape: %+v", round)
+	}
+	k := round.Files[0].Kernels[0]
+	if k.Name != "mix" || len(k.Args) != 3 {
+		t.Fatalf("unexpected kernel shape: %+v", k)
+	}
+}

@@ -80,6 +80,35 @@ type ArgSummary struct {
 	// else, which lets the runtime ship, merge and re-execute the
 	// argument's slice by range.
 	SlotExact bool
+
+	// Refs are the strided-summary forms of every access the second-
+	// generation walker could express (strided.go); Rejects name the sites
+	// and reasons where it could not. An argument's writes (reads) are
+	// fully summarized iff no Reject with the matching Store flag exists.
+	Refs    []StridedRef
+	Rejects []Reject
+}
+
+// WritesComplete reports that every store to the argument is captured by
+// a strided ref.
+func (a *ArgSummary) WritesComplete() bool {
+	for _, r := range a.Rejects {
+		if r.Store {
+			return false
+		}
+	}
+	return true
+}
+
+// ReadsComplete reports that every load of the argument is captured by a
+// strided ref.
+func (a *ArgSummary) ReadsComplete() bool {
+	for _, r := range a.Rejects {
+		if !r.Store {
+			return false
+		}
+	}
+	return true
 }
 
 // ReadOnly reports a read-never-written argument.
@@ -112,10 +141,14 @@ type BarrierSite struct {
 // KernelSummary is the analyzer's result for one kernel.
 type KernelSummary struct {
 	Name     string
+	Params   []string     // all parameter names, declaration order
 	Args     []ArgSummary // pointer parameters, declaration order
 	Barriers []BarrierSite
 	Races    int // inter-work-item race diagnostics found
-	Diags    []clc.Diag
+	// LocalStores: the kernel stores to a declared __local array, which
+	// the strided footprints do not model.
+	LocalStores bool
+	Diags       []clc.Diag
 }
 
 // Arg returns the summary for the named pointer parameter, or nil.
@@ -126,6 +159,17 @@ func (ks *KernelSummary) Arg(name string) *ArgSummary {
 		}
 	}
 	return nil
+}
+
+// ArgIndex returns the position of the named pointer parameter within
+// Args, or -1.
+func (ks *KernelSummary) ArgIndex(name string) int {
+	for i := range ks.Args {
+		if ks.Args[i].Name == name {
+			return i
+		}
+	}
+	return -1
 }
 
 // HasDivergentBarrier reports whether any barrier sits under
@@ -175,6 +219,15 @@ func (ks *KernelSummary) String() string {
 			}
 		}
 		b.WriteString("\n")
+		for j := range a.Refs {
+			fmt.Fprintf(&b, "    ref %s\n", a.Refs[j].String(ks.Params))
+		}
+		for _, rej := range a.Rejects {
+			fmt.Fprintf(&b, "    %s\n", rej.String())
+		}
+	}
+	if ks.LocalStores {
+		b.WriteString("  local-stores\n")
 	}
 	for _, site := range ks.Barriers {
 		div := ""

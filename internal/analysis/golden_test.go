@@ -141,4 +141,31 @@ func TestAdversarialFacts(t *testing.T) {
 	if !found {
 		t.Error("oob: constant out-of-bounds store not flagged")
 	}
+
+	sc := mustAnalyze("strided_scatter.cl")
+	if out := sc.Kernels["scatter_columns"].Arg("out"); out == nil ||
+		len(out.Refs) != 1 || !out.Refs[0].Store || !out.WritesComplete() {
+		t.Error("scatter_columns: want exactly one fully-summarized store ref")
+	}
+	gi := sc.Kernels["gather_indirect"].Arg("out")
+	rejected := false
+	if gi != nil {
+		for _, r := range gi.Rejects {
+			if r.Store && r.Reason == analysis.RejIndirect {
+				rejected = true
+			}
+		}
+	}
+	if !rejected {
+		t.Error("gather_indirect: indirect store must carry an indirect reject")
+	}
+	sfound := false
+	for _, d := range sc.Kernels["strided_oob"].Diags {
+		if strings.Contains(d.Msg, "provably out of bounds") {
+			sfound = true
+		}
+	}
+	if !sfound {
+		t.Error("strided_oob: negative-minimum strided store not flagged")
+	}
 }

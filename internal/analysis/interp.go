@@ -116,9 +116,31 @@ func AnalyzeKernel(k *clc.Kernel, file string) *KernelSummary {
 	}
 	a.block(k.Body)
 	a.lintUnused()
+	analyzeStrided(k, a.sum)
+	a.lintStridedOOB()
 	a.dedup()
 	clc.SortDiags(a.sum.Diags)
 	return a.sum
+}
+
+// lintStridedOOB reports strided accesses whose statically known minimum
+// index is negative on every launch: unguarded, parameter-free refs with
+// nonnegative id coefficients and a constant negative base or strided low
+// bound (e.g. a[gid0 - 1], a[i] for i in [-1, n)).
+func (a *analyzer) lintStridedOOB() {
+	for i := range a.sum.Args {
+		arg := &a.sum.Args[i]
+		for j := range arg.Refs {
+			ref := &arg.Refs[j]
+			if len(ref.Guards) > 0 || ref.MayOnly {
+				continue
+			}
+			if min, ok := ref.StaticMin(); ok && min < 0 {
+				a.diag(ref.Pos, "strided access to %q provably out of bounds: minimum index %d is negative",
+					arg.Name, min)
+			}
+		}
+	}
 }
 
 // dedup collapses duplicates introduced by loop fixpoint re-analysis: the

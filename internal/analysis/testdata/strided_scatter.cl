@@ -1,0 +1,30 @@
+// Strided and scatter kernels for the second-generation access analysis:
+// a clean column scatter (exact strided footprint), an indirect gather
+// (store reject with reason), a neighbor-overlap stencil (summarized, but
+// not work-group disjoint), and a strided store with a provably negative
+// minimum index (fires the static out-of-bounds lint).
+
+__kernel void scatter_columns(__global float* out, int n, int rows) {
+    int g = get_global_id(0);
+    for (int r = 0; r < rows; r++) {
+        out[r * n + g] = 1.0f;
+    }
+}
+
+__kernel void gather_indirect(__global float* out, __global float* in,
+                              __global int* idx) {
+    int g = get_global_id(0);
+    out[idx[g]] = in[g];
+}
+
+__kernel void overlap_neighbor(__global float* buf, int n) {
+    int g = get_global_id(0);
+    if (g + 1 < n) {
+        buf[g] = buf[g + 1] * 0.5f;
+    }
+}
+
+__kernel void strided_oob(__global float* out, int n) {
+    int g = get_global_id(0);
+    out[g * 2 - 4] = (float)n;
+}

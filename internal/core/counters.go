@@ -23,6 +23,10 @@ type Counters struct {
 	// MergeWordsElided counts 4-byte words excluded from merge-kernel
 	// launches by the analyzer-narrowed merge window.
 	MergeWordsElided int64
+	// SplitsUnvetoed counts launches whose work-group splitting was allowed
+	// only because the strided disjointness certificate overturned a
+	// conservative race veto.
+	SplitsUnvetoed int64
 
 	// VM backend activity (process-global, from vm.BackendSnapshot; only
 	// CounterSnapshot fills these). ClosureWGs/InterpWGs count work-group
@@ -43,6 +47,20 @@ type Counters struct {
 	WGFallbackWGs int64
 	WGKernels     int64
 	WGRegions     int64
+
+	// WGStridedWGs counts work-groups the strided disjointness certificate
+	// admitted to the lockstep engine after the identical-form certificate
+	// failed. The WGCertRej* fields attribute every wg-backend fallback to
+	// one machine-readable reason (vm.WGReject).
+	WGStridedWGs      int64
+	WGCertRejShape    int64
+	WGCertRejAlias    int64
+	WGCertRejNoSum    int64
+	WGCertRejLocal    int64
+	WGCertRejUnkStore int64
+	WGCertRejUnkRead  int64
+	WGCertRejOverlap  int64
+	WGCertRejBudget   int64
 }
 
 // globalCounters accumulates across every Runtime in the process, so
@@ -59,6 +77,7 @@ func CounterSnapshot() Counters {
 		PrimeCopiesElided: atomic.LoadInt64(&globalCounters.PrimeCopiesElided),
 		ShipBytesSkipped:  atomic.LoadInt64(&globalCounters.ShipBytesSkipped),
 		MergeWordsElided:  atomic.LoadInt64(&globalCounters.MergeWordsElided),
+		SplitsUnvetoed:    atomic.LoadInt64(&globalCounters.SplitsUnvetoed),
 		ClosureWGs:        b.ClosureWGs,
 		InterpWGs:         b.InterpWGs,
 		FusedInstrs:       b.FusedInstrs,
@@ -67,6 +86,15 @@ func CounterSnapshot() Counters {
 		WGFallbackWGs:     b.WGFallbackWGs,
 		WGKernels:         b.WGKernels,
 		WGRegions:         b.WGRegions,
+		WGStridedWGs:      b.WGStridedWGs,
+		WGCertRejShape:    b.WGRejects[vm.WGRejShape],
+		WGCertRejAlias:    b.WGRejects[vm.WGRejAlias],
+		WGCertRejNoSum:    b.WGRejects[vm.WGRejNoSummary],
+		WGCertRejLocal:    b.WGRejects[vm.WGRejLocalStore],
+		WGCertRejUnkStore: b.WGRejects[vm.WGRejUnknownStore],
+		WGCertRejUnkRead:  b.WGRejects[vm.WGRejUnknownRead],
+		WGCertRejOverlap:  b.WGRejects[vm.WGRejOverlap],
+		WGCertRejBudget:   b.WGRejects[vm.WGRejBudget],
 	}
 }
 
@@ -77,6 +105,7 @@ func (c Counters) Sub(o Counters) Counters {
 		PrimeCopiesElided: c.PrimeCopiesElided - o.PrimeCopiesElided,
 		ShipBytesSkipped:  c.ShipBytesSkipped - o.ShipBytesSkipped,
 		MergeWordsElided:  c.MergeWordsElided - o.MergeWordsElided,
+		SplitsUnvetoed:    c.SplitsUnvetoed - o.SplitsUnvetoed,
 		ClosureWGs:        c.ClosureWGs - o.ClosureWGs,
 		InterpWGs:         c.InterpWGs - o.InterpWGs,
 		FusedInstrs:       c.FusedInstrs - o.FusedInstrs,
@@ -85,6 +114,15 @@ func (c Counters) Sub(o Counters) Counters {
 		WGFallbackWGs:     c.WGFallbackWGs - o.WGFallbackWGs,
 		WGKernels:         c.WGKernels - o.WGKernels,
 		WGRegions:         c.WGRegions - o.WGRegions,
+		WGStridedWGs:      c.WGStridedWGs - o.WGStridedWGs,
+		WGCertRejShape:    c.WGCertRejShape - o.WGCertRejShape,
+		WGCertRejAlias:    c.WGCertRejAlias - o.WGCertRejAlias,
+		WGCertRejNoSum:    c.WGCertRejNoSum - o.WGCertRejNoSum,
+		WGCertRejLocal:    c.WGCertRejLocal - o.WGCertRejLocal,
+		WGCertRejUnkStore: c.WGCertRejUnkStore - o.WGCertRejUnkStore,
+		WGCertRejUnkRead:  c.WGCertRejUnkRead - o.WGCertRejUnkRead,
+		WGCertRejOverlap:  c.WGCertRejOverlap - o.WGCertRejOverlap,
+		WGCertRejBudget:   c.WGCertRejBudget - o.WGCertRejBudget,
 	}
 }
 
@@ -95,6 +133,7 @@ func (r *Runtime) Counters() Counters {
 		PrimeCopiesElided: atomic.LoadInt64(&r.ctr.PrimeCopiesElided),
 		ShipBytesSkipped:  atomic.LoadInt64(&r.ctr.ShipBytesSkipped),
 		MergeWordsElided:  atomic.LoadInt64(&r.ctr.MergeWordsElided),
+		SplitsUnvetoed:    atomic.LoadInt64(&r.ctr.SplitsUnvetoed),
 	}
 }
 
@@ -111,6 +150,11 @@ func (r *Runtime) countPrimeElided() {
 func (r *Runtime) countShipBytesSkipped(n int64) {
 	atomic.AddInt64(&r.ctr.ShipBytesSkipped, n)
 	atomic.AddInt64(&globalCounters.ShipBytesSkipped, n)
+}
+
+func (r *Runtime) countSplitUnvetoed() {
+	atomic.AddInt64(&r.ctr.SplitsUnvetoed, 1)
+	atomic.AddInt64(&globalCounters.SplitsUnvetoed, 1)
 }
 
 func (r *Runtime) countMergeWordsElided(n int64) {

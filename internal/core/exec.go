@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/bits"
 
+	"fluidicl/internal/analysis"
 	"fluidicl/internal/clc"
 	"fluidicl/internal/ocl"
 	"fluidicl/internal/passes"
@@ -100,6 +101,41 @@ type elision struct {
 	// launch, so the post-hoc cross-check must verify the dynamic writes
 	// covered the whole buffer.
 	uploadSkipped bool
+	// writes is the launch-level strided write footprint of a written
+	// __global buffer whose stores are fully summarized but not slot-exact
+	// (nil otherwise). Ships narrow to the hull of the chunk's group spans
+	// and the merge window narrows to the hull of every group at or above
+	// loFinal. Unlike the slot-exact case the cpuCopy prime is kept: the
+	// hulls over-approximate, so the merge may read words no ship delivered,
+	// and those must compare equal to orig.
+	writes *analysis.ArgWrites
+}
+
+// stridedPlanBudget bounds the footprint evaluations one launch may spend
+// on transfer planning and split certification.
+const stridedPlanBudget = 1 << 20
+
+// launchShape converts a full launch geometry to the analyzer's form.
+func launchShape(nd vm.NDRange) analysis.LaunchShape {
+	sh := analysis.LaunchShape{Dims: nd.Dims}
+	for d := 0; d < 3; d++ {
+		sh.Local[d] = int64(nd.LocalSize[d])
+		sh.NumGroups[d] = int64(nd.NumGroups[d])
+		sh.Count[d] = int64(nd.NumGroups[d])
+	}
+	return sh
+}
+
+// intParams extracts scalar int argument values by parameter position (the
+// analyzer's uniform-expression parameters).
+func intParams(args []Arg) []int64 {
+	params := make([]int64, len(args))
+	for i := range args {
+		if args[i].Kind == ArgInt {
+			params[i] = args[i].I
+		}
+	}
+	return params
 }
 
 // planElisions derives the per-argument elision plan for one launch from
@@ -108,20 +144,43 @@ type elision struct {
 // (crossCheck); a violation is a hard runtime error.
 func planElisions(k *Kernel, nd vm.NDRange, args []Arg) []elision {
 	el := make([]elision, len(args))
-	if k.Sum == nil || nd.Dims != 1 {
+	if k.Sum == nil {
 		return el
 	}
 	items := nd.TotalGroups() * nd.WorkItemsPerGroup()
+	sh := launchShape(nd)
+	params := intParams(args)
 	for i, param := range k.Info.Kernel.Params {
 		if !param.Ty.Ptr || args[i].Kind != ArgBuf || args[i].Buf == nil {
 			continue
 		}
 		sa := k.Sum.Arg(param.Name)
-		if sa == nil || sa.Space != clc.SpaceGlobal || !sa.WriteOnly() || !sa.SlotExact {
+		if sa == nil || sa.Space != clc.SpaceGlobal || !sa.Written {
 			continue
 		}
-		el[i].slotExact = true
-		el[i].fullOverwrite = 4*items >= args[i].Buf.Size
+		if nd.Dims == 1 && sa.WriteOnly() && sa.SlotExact {
+			el[i].slotExact = true
+			el[i].fullOverwrite = 4*items >= args[i].Buf.Size
+			continue
+		}
+		// Strided fallback: evaluate the launch-level write footprint from
+		// the interval-set summary. Works for any launch rank and for
+		// read-write buffers (narrowing ships and merges never changes what
+		// the kernel reads), but the upload of a stale GPU copy may only be
+		// skipped for a write-only buffer whose must-writes cover every word
+		// and whose group spans ascend (see elision.writes and
+		// ArgWrites.Monotone).
+		if !sa.WritesComplete() {
+			continue
+		}
+		aw, ok := k.Sum.EvalArgWrites(k.Sum.ArgIndex(param.Name), sh, params,
+			int64(args[i].Buf.Size/4), stridedPlanBudget)
+		if !ok {
+			continue
+		}
+		el[i].writes = &aw
+		el[i].fullOverwrite = sa.WriteOnly() && aw.MustCover && aw.Monotone() &&
+			args[i].Buf.Size%4 == 0
 	}
 	return el
 }
@@ -155,22 +214,43 @@ func crossCheck(k *Kernel, nd vm.NDRange, args []Arg, el []elision, out *schedOu
 	ls := nd.WorkItemsPerGroup()
 	items := nd.TotalGroups() * ls
 	for i := range el {
-		if !el[i].slotExact || i >= len(vm.Stats{}.WrLo) {
+		if i >= len(vm.Stats{}.WrLo) {
 			continue
 		}
 		name := k.Info.Kernel.Params[i].Name
 		written := dyn.ParamWriteMask&(1<<uint(i)) != 0
-		if written && int(dyn.WrHi[i]) > 4*items {
-			return fmt.Errorf("core: kernel %q: slot-exact buffer %q written past its work-items' slots (byte %d > %d)",
-				k.Name, name, dyn.WrHi[i], 4*items)
-		}
-		// Every CPU store must stay inside the chunks the CPU was assigned:
-		// ship narrowing only forwarded those byte ranges to the merge.
-		if out.stats.ParamWriteMask&(1<<uint(i)) != 0 {
-			if cpuLo := 4 * ls * (nd.TotalGroups() - out.cpuWGs); int(out.stats.WrLo[i]) < cpuLo {
-				return fmt.Errorf("core: kernel %q: slot-exact buffer %q written below the CPU's chunk (byte %d < %d)",
-					k.Name, name, out.stats.WrLo[i], cpuLo)
+		switch {
+		case el[i].slotExact:
+			if written && int(dyn.WrHi[i]) > 4*items {
+				return fmt.Errorf("core: kernel %q: slot-exact buffer %q written past its work-items' slots (byte %d > %d)",
+					k.Name, name, dyn.WrHi[i], 4*items)
 			}
+			// Every CPU store must stay inside the chunks the CPU was
+			// assigned: ship narrowing only forwarded those byte ranges to
+			// the merge.
+			if out.stats.ParamWriteMask&(1<<uint(i)) != 0 {
+				if cpuLo := 4 * ls * (nd.TotalGroups() - out.cpuWGs); int(out.stats.WrLo[i]) < cpuLo {
+					return fmt.Errorf("core: kernel %q: slot-exact buffer %q written below the CPU's chunk (byte %d < %d)",
+						k.Name, name, out.stats.WrLo[i], cpuLo)
+				}
+			}
+		case el[i].writes != nil:
+			w := el[i].writes
+			if written && (int64(dyn.WrLo[i]) < 4*w.Hull.Lo || int64(dyn.WrHi[i]) > 4*w.Hull.Hi) {
+				return fmt.Errorf("core: kernel %q: buffer %q written outside its strided launch hull (bytes [%d,%d) vs [%d,%d))",
+					k.Name, name, dyn.WrLo[i], dyn.WrHi[i], 4*w.Hull.Lo, 4*w.Hull.Hi)
+			}
+			// CPU stores must stay inside the hull of the group suffix the
+			// CPU was assigned: ships forwarded only those spans' bytes.
+			if out.stats.ParamWriteMask&(1<<uint(i)) != 0 && out.cpuWGs > 0 {
+				h := w.HullRange(int64(nd.TotalGroups()-out.cpuWGs), int64(len(w.GroupSpans)))
+				if int64(out.stats.WrLo[i]) < 4*h.Lo || int64(out.stats.WrHi[i]) > 4*h.Hi {
+					return fmt.Errorf("core: kernel %q: buffer %q: CPU writes escaped its chunks' strided spans (bytes [%d,%d) vs [%d,%d))",
+						k.Name, name, out.stats.WrLo[i], out.stats.WrHi[i], 4*h.Lo, 4*h.Hi)
+				}
+			}
+		default:
+			continue
 		}
 		if el[i].uploadSkipped {
 			// The stale-GPU-copy upload was elided on the promise that the
@@ -211,6 +291,18 @@ func (r *Runtime) EnqueueNDRangeKernel(p *sim.Proc, k *Kernel, nd vm.NDRange, ar
 	// Classify buffer arguments using the compile-time access analysis and
 	// derive the analyzer-driven elision plan for this launch.
 	el := planElisions(k, nd, args)
+
+	// Launch-time split un-veto: a kernel vetoed by a conservative race
+	// finding may still split its work-groups across CPU threads when the
+	// strided certificate proves this launch's per-item footprints pairwise
+	// disjoint within every group.
+	split := k.splitOK
+	if !split && !r.opts.NoWorkGroupSplit &&
+		passes.CanSplitWithCertificate(k.Info, k.Sum, launchShape(nd), intParams(args), stridedPlanBudget) {
+		split = true
+		r.countSplitUnvetoed()
+		r.tracef(kid, "work-group splitting un-vetoed by the strided disjointness certificate")
+	}
 	var outBufs []*Buffer
 	var outEl []elision // per outBufs entry
 	var inputReady []*sim.Event
@@ -301,7 +393,7 @@ func (r *Runtime) EnqueueNDRangeKernel(p *sim.Proc, k *Kernel, nd vm.NDRange, ar
 	// CPU scheduler thread (§4.2, §5.1).
 	outcome := &schedOutcome{variantUsed: k.bestCPUVar}
 	sched := r.Env.Go(fmt.Sprintf("fcl-cpu-sched-k%d", kid), func(sp *sim.Proc) {
-		r.runCPUScheduler(sp, k, kid, nd, args, outBufs, scratches, slog, gpuDone, inputReady, outcome)
+		r.runCPUScheduler(sp, k, kid, nd, args, outBufs, scratches, slog, gpuDone, inputReady, split, outcome)
 	})
 
 	// Blocking kernel call: the kernel is complete as soon as EITHER the
@@ -422,6 +514,26 @@ func (r *Runtime) EnqueueNDRangeKernel(p *sim.Proc, k *Kernel, nd vm.NDRange, ar
 					mergeLo = mergeHi
 				}
 				r.countMergeWordsElided(int64(words - (mergeHi - mergeLo)))
+			} else if w := sc.el.writes; w != nil {
+				// CPU subkernels covered flat groups [loFinal, total); only
+				// words inside the union of those groups' may-write spans
+				// were shipped, so only they can differ from orig (the
+				// cpuCopy prime filled everything else with orig).
+				h := w.HullRange(int64(loFinal), int64(len(w.GroupSpans)))
+				if h.Empty() {
+					mergeLo, mergeHi = 0, 0
+				} else {
+					if int(h.Lo) > mergeLo {
+						mergeLo = int(h.Lo)
+					}
+					if int(h.Hi) < mergeHi {
+						mergeHi = int(h.Hi)
+					}
+					if mergeLo > mergeHi {
+						mergeLo = mergeHi
+					}
+				}
+				r.countMergeWordsElided(int64(words - (mergeHi - mergeLo)))
 			}
 			if span := mergeHi - mergeLo; span > 0 {
 				local := 64
@@ -514,7 +626,7 @@ func (r *Runtime) releaseScratchesWhenSafe(schedDone, gpuDone *sim.Event, scratc
 // subkernel, until either end of the range is met or the GPU finishes.
 func (r *Runtime) runCPUScheduler(sp *sim.Proc, k *Kernel, kid int, nd vm.NDRange,
 	args []Arg, outBufs []*Buffer, scratches []scratchPair,
-	slog *statusLog, gpuDone *sim.Event, inputReady []*sim.Event, out *schedOutcome) {
+	slog *statusLog, gpuDone *sim.Event, inputReady []*sim.Event, split bool, out *schedOutcome) {
 
 	// Wait for the most recent versions of all inputs to reach the CPU
 	// (§5.3). The GPU proceeds meanwhile — it always has current data.
@@ -585,8 +697,9 @@ func (r *Runtime) runCPUScheduler(sp *sim.Proc, k *Kernel, kid int, nd vm.NDRang
 		ev, res := r.cpuQ.EnqueueNDRangeKernel(k.cpu[curVar], ndSlice, cargs, ocl.LaunchOpts{
 			// Work-group splitting needs the analyzer's blessing on top of
 			// the user knob: a divergent barrier or a race finding makes
-			// splitting one group across threads unsafe.
-			Split:   !r.opts.NoWorkGroupSplit && k.splitOK,
+			// splitting one group across threads unsafe — unless this
+			// launch's disjointness certificate overturned the race veto.
+			Split:   !r.opts.NoWorkGroupSplit && split,
 			Backend: r.opts.Backend,
 		})
 		sp.Wait(ev)
@@ -675,6 +788,27 @@ func (r *Runtime) shipToGPU(kid, lo, hi int, nd vm.NDRange, outBufs []*Buffer, s
 			}
 			if off > end {
 				off = end
+			}
+			r.countShipBytesSkipped(int64(b.Size - (end - off)))
+		} else if w := scratches[i].el.writes; w != nil {
+			// Strided summary: ship the hull of the chunk's group spans.
+			// Unwritten bytes inside the hull carry the CPU's pre-kernel
+			// data, which the merge compares equal to orig (or, after a
+			// skipped upload, promotes as the buffer's true surviving value —
+			// monotone spans guarantee no lower, not-yet-executed group can
+			// own a shipped byte in that case).
+			h := w.HullRange(int64(lo), int64(hi)+1)
+			if h.Empty() {
+				off, end = 0, 0
+			} else {
+				off = 4 * int(h.Lo)
+				end = 4 * int(h.Hi)
+				if end > b.Size {
+					end = b.Size
+				}
+				if off > end {
+					off = end
+				}
 			}
 			r.countShipBytesSkipped(int64(b.Size - (end - off)))
 		}

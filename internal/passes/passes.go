@@ -381,3 +381,21 @@ func CanSplitWithSummary(ki *clc.KernelInfo, ks *analysis.KernelSummary) bool {
 	}
 	return !ks.HasDivergentBarrier() && ks.Races == 0
 }
+
+// CanSplitWithCertificate refines CanSplitWithSummary for one concrete
+// launch: the race findings that veto splitting are conservative, so a
+// launch whose strided footprints are certified pairwise disjoint within
+// every work-group (no two items of a group touch a common word, so no
+// thread assignment can change what any item reads or writes) may split
+// after all. A divergent barrier still vetoes unconditionally — splitting
+// changes barrier pairing regardless of memory disjointness.
+func CanSplitWithCertificate(ki *clc.KernelInfo, ks *analysis.KernelSummary,
+	sh analysis.LaunchShape, params []int64, budget int64) bool {
+	if CanSplitWithSummary(ki, ks) {
+		return true
+	}
+	if !CanSplit(ki) || ks == nil || ks.HasDivergentBarrier() {
+		return false
+	}
+	return ks.CertifyGroupDisjoint(sh, params, budget).OK
+}

@@ -36,11 +36,13 @@ func TestFluidiCLElisionsBicg(t *testing.T) {
 	}
 }
 
-// TestFluidiCLCountersZeroWithoutSlotExactOuts checks the negative space:
-// SYRK's C argument is read-write (C[i*n+j] = beta*C[..] + ...), so none
-// of the summary-driven elisions may fire, and the conservative diff+merge
-// pipeline still verifies.
-func TestFluidiCLCountersZeroWithoutSlotExactOuts(t *testing.T) {
+// TestFluidiCLCountersStridedReadWrite checks that the strided summary
+// reaches where slot-exact classification cannot: SYRK's C argument is
+// read-write (C[i*n+j] = beta*C[..] + ...), so the upload-skip and
+// prime-copy elisions must not fire — but its row-major strided write
+// footprint still narrows the CPU's result shipments and the merge
+// window, with the output verifying against the sequential reference.
+func TestFluidiCLCountersStridedReadWrite(t *testing.T) {
 	m := sched.DefaultMachine()
 	b := Syrk(48, 48)
 	r, err := sched.RunFluidiCL(m, b.App, core.Options{})
@@ -50,7 +52,17 @@ func TestFluidiCLCountersZeroWithoutSlotExactOuts(t *testing.T) {
 	if err := b.Verify(r.Outputs); err != nil {
 		t.Fatal(err)
 	}
-	if c := r.Counters; c != (core.Counters{}) {
-		t.Errorf("read-write out buffer must not trigger elisions: %+v", c)
+	c := r.Counters
+	if c.UploadsSkipped != 0 {
+		t.Errorf("UploadsSkipped = %d, want 0 (read-write C must be uploaded)", c.UploadsSkipped)
+	}
+	if c.PrimeCopiesElided != 0 {
+		t.Errorf("PrimeCopiesElided = %d, want 0 (strided hulls over-approximate; the prime must stay)", c.PrimeCopiesElided)
+	}
+	if c.ShipBytesSkipped == 0 {
+		t.Error("no ship bytes skipped: strided summary did not narrow the read-write C's shipments")
+	}
+	if c.MergeWordsElided == 0 {
+		t.Error("no merge words elided: strided summary did not narrow the merge window")
 	}
 }

@@ -16,6 +16,41 @@ import (
 	"fluidicl/internal/vm"
 )
 
+// TestCorrFullyCertifiedWG pins the strided certificate's headline win:
+// CORR's correlation kernel stores to the diagonal, a row run, and a
+// strided column — three different affine forms that the identical-form
+// certificate rejects — yet its per-work-item footprints are pairwise
+// disjoint, so the disjointness certificate admits every work-group to the
+// lockstep engine and the quick-scale experiment runs with zero wg-backend
+// fallbacks.
+func TestCorrFullyCertifiedWG(t *testing.T) {
+	b, err := polybench.ByNameQuick("CORR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := core.CounterSnapshot()
+	res, err := sched.RunFluidiCL(sched.DefaultMachine(), b.App, core.Options{Backend: vm.BackendWG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Verify(res.Outputs); err != nil {
+		t.Fatal(err)
+	}
+	delta := core.CounterSnapshot().Sub(before)
+	if delta.WGFallbackWGs != 0 {
+		t.Errorf("WGFallbackWGs = %d, want 0: CORR must run fully certified under the wg backend (rejects: shape=%d alias=%d no_sum=%d local=%d unk_store=%d unk_read=%d overlap=%d budget=%d)",
+			delta.WGFallbackWGs, delta.WGCertRejShape, delta.WGCertRejAlias, delta.WGCertRejNoSum,
+			delta.WGCertRejLocal, delta.WGCertRejUnkStore, delta.WGCertRejUnkRead,
+			delta.WGCertRejOverlap, delta.WGCertRejBudget)
+	}
+	if delta.WGStridedWGs == 0 {
+		t.Error("WGStridedWGs = 0: no work-group was admitted by the strided disjointness certificate")
+	}
+	if delta.WGLoopWGs == 0 {
+		t.Error("WGLoopWGs = 0: the lockstep engine never ran")
+	}
+}
+
 func TestBackendParityFluidiCL(t *testing.T) {
 	for _, b := range polybench.AllQuick() {
 		b := b

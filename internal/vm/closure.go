@@ -122,6 +122,12 @@ var backendCtr struct {
 	wgFallbackWGs atomic.Int64
 	wgRegions     atomic.Int64
 	wgKernels     atomic.Int64
+
+	// wgStridedWGs counts work-groups admitted to the lockstep engine by
+	// the strided disjointness certificate (the identical-form certificate
+	// having failed); wgRej counts fallbacks per WGReject reason.
+	wgStridedWGs atomic.Int64
+	wgRej        [wgRejCount]atomic.Int64
 }
 
 // BackendCounters is a snapshot of process-wide backend activity.
@@ -146,11 +152,21 @@ type BackendCounters struct {
 	// the process.
 	WGRegions int64
 	WGKernels int64
+
+	// WGStridedWGs counts work-groups the strided disjointness certificate
+	// admitted after the identical-form certificate failed. WGRejects
+	// attributes every fallback to one WGReject reason, indexed by that
+	// enum (index WGRejNone is always zero).
+	WGStridedWGs int64
+	WGRejects    [wgRejCount]int64
 }
+
+// WGRejectNames returns the reason name for each WGRejects index.
+func WGRejectNames() [wgRejCount]string { return wgRejectNames }
 
 // BackendSnapshot returns the process-wide backend counters.
 func BackendSnapshot() BackendCounters {
-	return BackendCounters{
+	bc := BackendCounters{
 		ClosureWGs:    backendCtr.closureWGs.Load(),
 		InterpWGs:     backendCtr.interpWGs.Load(),
 		FusedInstrs:   backendCtr.fusedInstrs.Load(),
@@ -159,7 +175,12 @@ func BackendSnapshot() BackendCounters {
 		WGFallbackWGs: backendCtr.wgFallbackWGs.Load(),
 		WGRegions:     backendCtr.wgRegions.Load(),
 		WGKernels:     backendCtr.wgKernels.Load(),
+		WGStridedWGs:  backendCtr.wgStridedWGs.Load(),
 	}
+	for i := range bc.WGRejects {
+		bc.WGRejects[i] = backendCtr.wgRej[i].Load()
+	}
+	return bc
 }
 
 // ---------------------------------------------------------------------------

@@ -3,6 +3,7 @@ package vm
 import (
 	"fmt"
 
+	"fluidicl/internal/analysis"
 	"fluidicl/internal/clc"
 )
 
@@ -52,6 +53,7 @@ func Compile(ki *clc.KernelInfo) (*Kernel, error) {
 	}
 	c.emit(Instr{Op: opRET})
 	c.finalize()
+	c.k.sum = analysis.AnalyzeKernel(ki.Kernel, "")
 	c.k.buildClosures()
 	c.k.buildWG()
 	return c.k, nil

@@ -159,12 +159,20 @@ func (k *Kernel) ExecWorkGroup(nd NDRange, group [3]int, args []Arg, opts ExecOp
 func (k *Kernel) execWG(nd NDRange, group [3]int, args []Arg, opts ExecOpts, sc *wgScratch) (Stats, error) {
 	switch opts.Backend.resolve() {
 	case BackendWG:
-		if k.wg != nil && k.wgCertified(&sc.cert, nd, args) {
+		if k.wg == nil {
+			backendCtr.wgFallbackWGs.Add(1)
+			backendCtr.wgRej[WGRejShape].Add(1)
+		} else if ok, rej := k.wgCertified(&sc.cert, nd, args); ok {
+			if sc.cert.second {
+				backendCtr.wgStridedWGs.Add(1)
+			}
 			return k.execWGLockstep(nd, group, args, opts, sc)
+		} else {
+			// Uncertified: count the fallback with its reason and take the
+			// best per-item path available.
+			backendCtr.wgFallbackWGs.Add(1)
+			backendCtr.wgRej[rej].Add(1)
 		}
-		// Uncompiled or uncertified: count the fallback and take the best
-		// per-item path available.
-		backendCtr.wgFallbackWGs.Add(1)
 		if k.clos != nil {
 			return k.execWGClosure(nd, group, args, opts, sc)
 		}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sync"
 
+	"fluidicl/internal/analysis"
 	"fluidicl/internal/clc"
 )
 
@@ -189,6 +190,11 @@ type Kernel struct {
 	// loops over SoA register banks) — nil when buildWG bailed out and
 	// the wg backend must fall back to the per-item paths.
 	wg *wgProgram
+
+	// sum is the static access summary of the kernel's AST (strided refs,
+	// rejects, barrier report), computed once at compile time. The wg
+	// backend's second-chance certificate evaluates it per launch shape.
+	sum *analysis.KernelSummary
 
 	// scratch pools per-work-group execution state (*wgScratch). A compiled
 	// kernel is otherwise immutable, so one Kernel may execute work-groups

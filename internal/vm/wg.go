@@ -1,9 +1,5 @@
 package vm
 
-import (
-	"fluidicl/internal/analysis"
-)
-
 // Whole-work-group compilation.
 //
 // buildWG lowers a kernel's bytecode into a form the lockstep engine
@@ -85,7 +81,7 @@ func (k *Kernel) buildWG() {
 		return
 	}
 	if k.HasBarrier {
-		if k.Info == nil || analysis.AnalyzeKernel(k.Info.Kernel, "").HasDivergentBarrier() {
+		if k.sum == nil || k.sum.HasDivergentBarrier() {
 			return
 		}
 	} else if len(k.PrivArrs) > 0 {

@@ -91,6 +91,11 @@ type wgCert struct {
 	keyTmp []uint64
 	valid  bool
 	ok     bool
+	// second: the cached admission came from the strided disjointness
+	// certificate, not the identical-form one. rej is the fallback reason
+	// when ok is false.
+	second bool
+	rej    WGReject
 
 	in      [][]aval // fixpoint in-state per leader pc
 	reached []bool
@@ -102,15 +107,18 @@ type wgCert struct {
 
 // wgCertified reports whether this work-group may run on the lockstep
 // engine: no aliased buffer arguments, and the cached (or freshly computed)
-// certificate for the launch shape holds.
-func (k *Kernel) wgCertified(c *wgCert, nd NDRange, args []Arg) bool {
+// certificate for the launch shape holds. When the identical-form
+// certificate fails, the strided disjointness certificate (wgreject.go)
+// gets a second chance before the launch shape is rejected. The returned
+// reason names the fallback cause when the answer is no.
+func (k *Kernel) wgCertified(c *wgCert, nd NDRange, args []Arg) (bool, WGReject) {
 	for i := range args {
 		if args[i].Kind != ArgBuffer || len(args[i].Buf) == 0 {
 			continue
 		}
 		for j := i + 1; j < len(args); j++ {
 			if args[j].Kind == ArgBuffer && len(args[j].Buf) != 0 && &args[i].Buf[0] == &args[j].Buf[0] {
-				return false
+				return false, WGRejAlias
 			}
 		}
 	}
@@ -136,13 +144,18 @@ func (k *Kernel) wgCertified(c *wgCert, nd NDRange, args []Arg) bool {
 			}
 		}
 		if same {
-			return c.ok
+			return c.ok, c.rej
 		}
 	}
 	c.ok = k.wgCertify(c, nd, args)
+	c.second, c.rej = false, WGRejNone
+	if !c.ok {
+		c.ok, c.rej = k.wgSecondChance(nd, args)
+		c.second = c.ok
+	}
 	c.key = append(c.key[:0], key...)
 	c.valid = true
-	return c.ok
+	return c.ok, c.rej
 }
 
 // wgCertify runs the affine dataflow to a fixpoint and checks every region's
