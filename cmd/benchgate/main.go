@@ -39,11 +39,24 @@ func load(path string) (map[string]float64, []string, error) {
 	return m, order, nil
 }
 
+// row is one experiment's gate verdict, serialized by -jsonout so CI can
+// archive machine-readable results next to the log.
+type row struct {
+	ID              string  `json:"id"`
+	BaselineSeconds float64 `json:"baseline_seconds"`
+	CurrentSeconds  float64 `json:"current_seconds"`
+	DeltaPct        float64 `json:"delta_pct"`
+	// Status is "ok", "regression", "not_gated" (below the noise floor) or
+	// "missing" (absent from the current run).
+	Status string `json:"status"`
+}
+
 func main() {
 	baseline := flag.String("baseline", "BENCH_02.json", "committed baseline JSON")
 	current := flag.String("current", "", "fresh fluidibench -jsonout JSON")
 	tolPct := flag.Float64("tol", 25, "allowed wall-clock regression, percent")
 	minSec := flag.Float64("min", 0.05, "ignore experiments faster than this baseline wall clock (too noisy to gate)")
+	jsonOut := flag.String("jsonout", "", "write per-experiment gate verdicts as JSON to this file")
 	flag.Parse()
 	if *current == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
@@ -57,31 +70,82 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var rows []row
 	regressions := 0
 	for _, id := range order {
 		b := base[id]
 		c, ok := cur[id]
-		if !ok {
-			fmt.Printf("benchgate: %-12s missing from current run\n", id)
-			regressions++
-			continue
+		r := row{ID: id, BaselineSeconds: b, CurrentSeconds: c}
+		if b > 0 {
+			r.DeltaPct = (c/b - 1) * 100
 		}
 		switch {
+		case !ok:
+			fmt.Printf("benchgate: %-12s missing from current run\n", id)
+			r.Status = "missing"
+			regressions++
 		case b < *minSec:
 			fmt.Printf("benchgate: %-12s %8.3fs -> %8.3fs (below %.2fs floor, not gated)\n", id, b, c, *minSec)
+			r.Status = "not_gated"
 		case c > b*(1+*tolPct/100):
 			fmt.Printf("benchgate: %-12s %8.3fs -> %8.3fs  REGRESSION (+%.0f%%, tolerance %.0f%%)\n",
 				id, b, c, (c/b-1)*100, *tolPct)
+			r.Status = "regression"
 			regressions++
 		default:
 			fmt.Printf("benchgate: %-12s %8.3fs -> %8.3fs (%+.0f%%)\n", id, b, c, (c/b-1)*100)
+			r.Status = "ok"
+		}
+		rows = append(rows, r)
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
 		}
 	}
+	writeStepSummary(rows, *tolPct, regressions)
 	if regressions > 0 {
 		fmt.Fprintf(os.Stderr, "benchgate: %d experiment(s) regressed past %.0f%% tolerance\n", regressions, *tolPct)
 		os.Exit(1)
 	}
 	fmt.Printf("benchgate: all %d experiments within %.0f%% of baseline\n", len(order), *tolPct)
+}
+
+// writeStepSummary appends a markdown verdict table to the GitHub Actions
+// step summary when running in CI ($GITHUB_STEP_SUMMARY set); a no-op
+// elsewhere. Write failures only warn — the summary is cosmetic and must
+// never flip the gate's exit status.
+func writeStepSummary(rows []row, tolPct float64, regressions int) {
+	path := os.Getenv("GITHUB_STEP_SUMMARY")
+	if path == "" {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate: step summary:", err)
+		return
+	}
+	defer f.Close()
+	verdict := fmt.Sprintf("all %d experiments within %.0f%% of baseline", len(rows), tolPct)
+	if regressions > 0 {
+		verdict = fmt.Sprintf("%d experiment(s) regressed past %.0f%% tolerance", regressions, tolPct)
+	}
+	fmt.Fprintf(f, "## bench-gate: %s\n\n", verdict)
+	fmt.Fprintln(f, "| experiment | baseline | current | delta | status |")
+	fmt.Fprintln(f, "|---|---:|---:|---:|---|")
+	for _, r := range rows {
+		status := r.Status
+		if status == "regression" || status == "missing" {
+			status = "**" + status + "**"
+		}
+		fmt.Fprintf(f, "| %s | %.3fs | %.3fs | %+.0f%% | %s |\n",
+			r.ID, r.BaselineSeconds, r.CurrentSeconds, r.DeltaPct, status)
+	}
+	fmt.Fprintln(f)
 }
 
 func fatal(err error) {

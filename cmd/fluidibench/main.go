@@ -41,6 +41,7 @@ func main() {
 	traceOut := flag.String("trace", "", "run one benchmark under FluidiCL and write a Chrome trace_event JSON file here")
 	dist := flag.Bool("dist", false, "print the per-benchmark CPU/GPU work-distribution table (paper §5.5)")
 	backend := flag.String("backend", "", "work-group execution backend: interp, closure, or wg (default closure, or $FLUIDICL_BACKEND)")
+	topology := flag.String("topology", "", "N-device topology for -trace, -dist and hash, e.g. cpu+gpu, 2cpu+2gpu, 4gpu-bus (default: the paper's cpu+gpu machine)")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -56,15 +57,27 @@ func main() {
 
 	if *traceOut != "" {
 		if len(args) != 1 {
-			fatal(fmt.Errorf("usage: fluidibench -trace out.json [-quick] <benchmark>"))
+			fatal(fmt.Errorf("usage: fluidibench -trace out.json [-quick] [-topology T] <benchmark>"))
 		}
-		if err := chromeTrace(args[0], *quick, *traceOut); err != nil {
+		var err error
+		if *topology != "" {
+			err = chromeTraceTopology(args[0], *quick, *traceOut, *topology)
+		} else {
+			err = chromeTrace(args[0], *quick, *traceOut)
+		}
+		if err != nil {
 			fatal(err)
 		}
 		return
 	}
 	if *dist {
-		if err := runDist(*quick, *csv); err != nil {
+		var err error
+		if *topology != "" {
+			err = runDistTopology(*quick, *csv, *topology)
+		} else {
+			err = runDist(*quick, *csv)
+		}
+		if err != nil {
 			fatal(err)
 		}
 		return
@@ -116,6 +129,11 @@ func main() {
 				core.CounterSnapshot().Sub(before), trace.GlobalSnapshot().Sub(beforeS)))
 		}
 		writeWalls(*jsonOut, walls)
+		return
+	case "hash":
+		if err := runHash(*quick, *topology); err != nil {
+			fatal(err)
+		}
 		return
 	case "run":
 		if len(args) < 2 {
@@ -463,8 +481,9 @@ func usage() {
 
 usage:
   fluidibench [-csv] [-quick] [-workers N] [-parallel N] [-backend interp|closure|wg] [-jsonout F] <experiment>|all
-  fluidibench -trace out.json [-quick] <benchmark>   # Chrome trace_event JSON (chrome://tracing)
-  fluidibench -dist [-quick] [-csv]   # CPU/GPU work-distribution table (paper §5.5)
+  fluidibench -trace out.json [-quick] [-topology T] <benchmark>   # Chrome trace_event JSON (chrome://tracing)
+  fluidibench -dist [-quick] [-csv] [-topology T]   # work-distribution table (paper §5.5; per-device rows with -topology)
+  fluidibench [-quick] [-topology T] hash   # benchmark output hashes (deterministic, topology-invariant)
   fluidibench run <benchmark>     # one benchmark under every strategy
   fluidibench trace <benchmark>   # cooperative-execution timeline (plain text)
   fluidibench dump <benchmark>    # transformed sources + bytecode disassembly

@@ -141,26 +141,29 @@ func intParams(args []Arg) []int64 {
 // planElisions derives the per-argument elision plan for one launch from
 // the kernel's static summary. Every elision taken here is re-validated
 // against the VM's dynamic access stats when the launch completes
-// (crossCheck); a violation is a hard runtime error.
-func planElisions(k *Kernel, nd vm.NDRange, args []Arg) []elision {
+// (crossCheck for the twin runtime, per-chunk checks for the N-way runtime);
+// a violation is a hard runtime error. Buffer size lookup goes through
+// argBufSize so both the twin and topology buffer types plan identically.
+func planElisions(info *clc.KernelInfo, sum *analysis.KernelSummary, nd vm.NDRange, args []Arg) []elision {
 	el := make([]elision, len(args))
-	if k.Sum == nil {
+	if sum == nil {
 		return el
 	}
 	items := nd.TotalGroups() * nd.WorkItemsPerGroup()
 	sh := launchShape(nd)
 	params := intParams(args)
-	for i, param := range k.Info.Kernel.Params {
-		if !param.Ty.Ptr || args[i].Kind != ArgBuf || args[i].Buf == nil {
+	for i, param := range info.Kernel.Params {
+		if !param.Ty.Ptr || args[i].Kind != ArgBuf || argBufSize(args[i]) < 0 {
 			continue
 		}
-		sa := k.Sum.Arg(param.Name)
+		sa := sum.Arg(param.Name)
 		if sa == nil || sa.Space != clc.SpaceGlobal || !sa.Written {
 			continue
 		}
+		size := argBufSize(args[i])
 		if nd.Dims == 1 && sa.WriteOnly() && sa.SlotExact {
 			el[i].slotExact = true
-			el[i].fullOverwrite = 4*items >= args[i].Buf.Size
+			el[i].fullOverwrite = 4*items >= size
 			continue
 		}
 		// Strided fallback: evaluate the launch-level write footprint from
@@ -173,14 +176,14 @@ func planElisions(k *Kernel, nd vm.NDRange, args []Arg) []elision {
 		if !sa.WritesComplete() {
 			continue
 		}
-		aw, ok := k.Sum.EvalArgWrites(k.Sum.ArgIndex(param.Name), sh, params,
-			int64(args[i].Buf.Size/4), stridedPlanBudget)
+		aw, ok := sum.EvalArgWrites(sum.ArgIndex(param.Name), sh, params,
+			int64(size/4), stridedPlanBudget)
 		if !ok {
 			continue
 		}
 		el[i].writes = &aw
 		el[i].fullOverwrite = sa.WriteOnly() && aw.MustCover && aw.Monotone() &&
-			args[i].Buf.Size%4 == 0
+			size%4 == 0
 	}
 	return el
 }
@@ -290,7 +293,7 @@ func (r *Runtime) EnqueueNDRangeKernel(p *sim.Proc, k *Kernel, nd vm.NDRange, ar
 
 	// Classify buffer arguments using the compile-time access analysis and
 	// derive the analyzer-driven elision plan for this launch.
-	el := planElisions(k, nd, args)
+	el := planElisions(k.Info, k.Sum, nd, args)
 
 	// Launch-time split un-veto: a kernel vetoed by a conservative race
 	// finding may still split its work-groups across CPU threads when the

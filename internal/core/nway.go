@@ -1,0 +1,551 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync/atomic"
+
+	"fluidicl/internal/analysis"
+	"fluidicl/internal/clc"
+	"fluidicl/internal/device"
+	"fluidicl/internal/ocl"
+	"fluidicl/internal/passes"
+	"fluidicl/internal/sim"
+	"fluidicl/internal/vm"
+)
+
+// TopoRuntime generalizes the FluidiCL twin protocol to an N-device
+// topology. Where the twin runtime races one full-range GPU launch against a
+// CPU scheduler stealing from the tail, the N-way runtime treats the
+// flattened work-group range as a shared pool with two claim fronts:
+// GPU-class devices claim chunks ascending from the grid head, CPU-class
+// devices steal descending from the shared tail, and the fronts meet
+// somewhere in the middle. Every device runs the range-guarded CPU-transformed
+// kernel over its chunks with per-device adaptive chunk sizing (§5.1
+// generalized); chunk results ship over each device's interconnect link to
+// the host root, narrowed by the same slot-exact / strided write
+// certificates the twin runtime uses; the host diff-merges shipped bytes
+// against a pre-kernel snapshot (§4.3's merge, rooted at the host instead of
+// the GPU) and rebroadcasts the merged result so every device holds current
+// data for the next kernel.
+//
+// The degenerate two-device machine does not go through this path at all:
+// package sched routes Topology.Pair() machines to the original twin runtime
+// so their results and virtual timings stay bit-identical.
+type TopoRuntime struct {
+	Env  *sim.Env
+	devs []*device.Device
+	ctxs []*ocl.Context
+	qs   []*ocl.CommandQueue
+
+	opts        Options
+	kernelSeq   int
+	deferredErr error
+	ctr         Counters
+
+	Reports []*KernelReport
+}
+
+// NewTopo creates an N-way runtime over an already-built device list (see
+// device.Topology.Build). Device order fixes worker spawn order and
+// therefore claim tie-breaking, so runs are deterministic.
+func NewTopo(env *sim.Env, devs []*device.Device, opts Options) (*TopoRuntime, error) {
+	if len(devs) == 0 {
+		return nil, fmt.Errorf("core: topology runtime needs at least one device")
+	}
+	r := &TopoRuntime{Env: env, devs: devs, opts: opts.withDefaults()}
+	for _, d := range devs {
+		ctx := ocl.NewContext(env, d)
+		r.ctxs = append(r.ctxs, ctx)
+		r.qs = append(r.qs, ctx.CreateQueue("app"))
+	}
+	return r, nil
+}
+
+// MustNewTopo is NewTopo for known-good configurations.
+func MustNewTopo(env *sim.Env, devs []*device.Device, opts Options) *TopoRuntime {
+	r, err := NewTopo(env, devs, opts)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Err returns any deferred error (a certificate violation noticed after a
+// kernel call returned).
+func (r *TopoRuntime) Err() error { return r.deferredErr }
+
+// TopoBuffer is an N-way memory object: one buffer per device plus the host
+// shadow the merge is rooted at. Unlike the twin runtime's version/location
+// tracking, the N-way protocol keeps every device current after each kernel
+// (the refresh broadcast), so the host shadow is always the latest data once
+// a kernel call returns.
+type TopoBuffer struct {
+	rt   *TopoRuntime
+	Size int
+	bufs []*ocl.Buffer
+	host []byte
+}
+
+// CreateBuffer creates a buffer on every device.
+func (r *TopoRuntime) CreateBuffer(size int) *TopoBuffer {
+	b := &TopoBuffer{rt: r, Size: size, host: make([]byte, size)}
+	for _, ctx := range r.ctxs {
+		b.bufs = append(b.bufs, ctx.CreateBuffer(size))
+	}
+	return b
+}
+
+// EnqueueWriteBuffer broadcasts host data to every device. The call
+// snapshots the data and returns immediately; each device's in-order queue
+// sequences its copy before any later kernel chunk there.
+func (r *TopoRuntime) EnqueueWriteBuffer(p *sim.Proc, b *TopoBuffer, data []byte) {
+	if len(data) > b.Size {
+		panic("core: write larger than buffer")
+	}
+	copy(b.host, data)
+	snap := append([]byte(nil), data...)
+	for i, q := range r.qs {
+		q.EnqueueWriteBuffer(b.bufs[i], snap)
+	}
+}
+
+// EnqueueReadBuffer returns the buffer's current contents. Kernel calls
+// block until the host-rooted merge completes, so the host shadow is always
+// current; the device-to-host transfer cost was already paid by the chunk
+// result ships.
+func (r *TopoRuntime) EnqueueReadBuffer(p *sim.Proc, b *TopoBuffer) []byte {
+	out := make([]byte, b.Size)
+	copy(out, b.host)
+	return out
+}
+
+// Finish drains every device queue.
+func (r *TopoRuntime) Finish(p *sim.Proc) {
+	for _, q := range r.qs {
+		p.Wait(q.EnqueueMarker())
+	}
+}
+
+// TopoProgram is a program compiled for every device in the topology. All
+// devices run the range-guarded CPU transformation of the source: N-way
+// chunks are claimed, not raced, so no device needs the GPU abort-check
+// transformation — a chunk once claimed is never redundantly recomputed.
+type TopoProgram struct {
+	rt      *TopoRuntime
+	Source  string
+	info    *clc.ProgramInfo
+	Summary *analysis.ProgramSummary
+	progs   []*ocl.Program
+	CPUSrc  string
+}
+
+// BuildProgram compiles src for every device, applying the CPU range-guard
+// transformation once (memoized with the twin runtime's cache) and building
+// the result in each device context.
+func (r *TopoRuntime) BuildProgram(src string) (*TopoProgram, error) {
+	gopt := passes.GPUOptions{
+		AbortInLoops: !r.opts.NoAbortInLoops,
+		Unroll:       !r.opts.NoAbortInLoops && !r.opts.NoUnroll,
+		UnrollFactor: r.opts.UnrollFactor,
+	}
+	e, err := transformProgram(src, gopt)
+	if err != nil {
+		return nil, err
+	}
+	p := &TopoProgram{rt: r, Source: src, info: e.info, Summary: e.sum, CPUSrc: e.cpuSrc}
+	for i, ctx := range r.ctxs {
+		prog, err := ctx.BuildProgram(e.cpuSrc)
+		if err != nil {
+			return nil, fmt.Errorf("core: build for device %d: %w", i, err)
+		}
+		p.progs = append(p.progs, prog)
+	}
+	return p, nil
+}
+
+// TopoKernel is a kernel bound to every device in the topology.
+type TopoKernel struct {
+	prog *TopoProgram
+	Name string
+	Info *clc.KernelInfo
+	Sum  *analysis.KernelSummary
+	ks   []*ocl.Kernel
+
+	splitOK           bool
+	chkRead, chkWrite uint64
+}
+
+// CreateKernel creates a kernel object by name.
+func (p *TopoProgram) CreateKernel(name string) (*TopoKernel, error) {
+	info, ok := p.info.Kernels[name]
+	if !ok {
+		return nil, fmt.Errorf("core: kernel %q not found", name)
+	}
+	sum := p.Summary.Kernels[name]
+	k := &TopoKernel{
+		prog: p, Name: name, Info: info, Sum: sum,
+		splitOK: passes.CanSplitWithSummary(info, sum),
+	}
+	k.chkRead, k.chkWrite = accessMasks(sum)
+	for _, prog := range p.progs {
+		dk, err := prog.CreateKernel(name)
+		if err != nil {
+			return nil, err
+		}
+		k.ks = append(k.ks, dk)
+	}
+	return k, nil
+}
+
+// MustKernel is CreateKernel for known-good names.
+func (p *TopoProgram) MustKernel(name string) *TopoKernel {
+	k, err := p.CreateKernel(name)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// topo lowers a FluidiCL arg to device di's ocl arg.
+func (a Arg) topo(di int) ocl.Arg {
+	switch a.Kind {
+	case ArgBuf:
+		return ocl.BufArg(a.TBuf.bufs[di])
+	case ArgInt:
+		return ocl.IntArg(a.I)
+	default:
+		return ocl.FloatArg(a.F)
+	}
+}
+
+// topoOut is the merge bookkeeping for one written buffer of one launch.
+type topoOut struct {
+	b    *TopoBuffer
+	idx  int // original parameter index
+	el   elision
+	orig []byte // pre-kernel contents (identical on every device)
+	res  []byte // merge target; committed to host after the join
+}
+
+// shipRange returns the [off, end) byte window of o that chunk [lo, hi] must
+// ship, narrowed by the launch's elision certificate: slot-exact buffers
+// ship exactly the chunk's slot range, strided buffers ship the hull of the
+// chunk's group spans, everything else ships in full.
+func (o *topoOut) shipRange(nd vm.NDRange, lo, hi int) (off, end int) {
+	off, end = 0, o.b.Size
+	switch {
+	case o.el.slotExact:
+		ls := nd.WorkItemsPerGroup()
+		off = 4 * ls * lo
+		end = 4 * ls * (hi + 1)
+	case o.el.writes != nil:
+		h := o.el.writes.HullRange(int64(lo), int64(hi)+1)
+		if h.Empty() {
+			return 0, 0
+		}
+		off = 4 * int(h.Lo)
+		end = 4 * int(h.Hi)
+	default:
+		return
+	}
+	if end > o.b.Size {
+		end = o.b.Size
+	}
+	if off > end {
+		off = end
+	}
+	return
+}
+
+// EnqueueNDRangeKernel executes the kernel cooperatively on every device of
+// the topology and blocks until the merged result is on the host and every
+// device's refresh has been enqueued. The claim protocol is deterministic:
+// workers run one at a time inside the cooperative engine, so claim
+// interleavings are a pure function of virtual launch timings, which are
+// themselves a pure function of the VM's deterministic stats.
+func (r *TopoRuntime) EnqueueNDRangeKernel(p *sim.Proc, k *TopoKernel, nd vm.NDRange, args []Arg) error {
+	if r.deferredErr != nil {
+		return r.deferredErr
+	}
+	if len(args) != len(k.Info.Kernel.Params) {
+		return fmt.Errorf("core: kernel %q expects %d args, got %d", k.Name, len(k.Info.Kernel.Params), len(args))
+	}
+	r.kernelSeq++
+	kid := r.kernelSeq
+	total := nd.TotalGroups()
+	rep := &KernelReport{
+		KID: kid, Name: k.Name, TotalWGs: total, Start: p.Now(),
+		DeviceWGs: make([]int, len(r.devs)),
+	}
+	r.Reports = append(r.Reports, rep)
+
+	el := planElisions(k.Info, k.Sum, nd, args)
+
+	// Launch-time split un-veto, exactly as in the twin runtime.
+	split := k.splitOK
+	if !split && !r.opts.NoWorkGroupSplit &&
+		passes.CanSplitWithCertificate(k.Info, k.Sum, launchShape(nd), intParams(args), stridedPlanBudget) {
+		split = true
+		r.countSplitUnvetoed()
+	}
+
+	var outs []*topoOut
+	for i, param := range k.Info.Kernel.Params {
+		if !param.Ty.Ptr {
+			continue
+		}
+		if args[i].Kind != ArgBuf || args[i].TBuf == nil {
+			return fmt.Errorf("core: kernel %q arg %d (%s) must be a topology buffer", k.Name, i, param.Name)
+		}
+		if k.Info.ParamAccess[param.Name].Written {
+			b := args[i].TBuf
+			outs = append(outs, &topoOut{
+				b: b, idx: i, el: el[i],
+				orig: append([]byte(nil), b.host...),
+				res:  append([]byte(nil), b.host...),
+			})
+		}
+	}
+
+	if total == 0 {
+		rep.End = p.Now()
+		return nil
+	}
+
+	// The shared claim pool over flattened work-group IDs: GPU-class devices
+	// claim [lo, ...] ascending, CPU-class devices steal [..., hi] descending.
+	// Claims mutate lo/hi from worker procs that execute one at a time in the
+	// cooperative engine, so no locking is needed and the claim sequence is
+	// deterministic.
+	lo, hi := 0, total-1
+	claim := func(kind device.Kind, want int) (int, int, bool) {
+		if lo > hi {
+			return 0, 0, false
+		}
+		n := want
+		if n < 1 {
+			n = 1
+		}
+		if rem := hi - lo + 1; n > rem {
+			n = rem
+		}
+		if kind == device.GPU {
+			c0 := lo
+			lo += n
+			return c0, c0 + n - 1, true
+		}
+		c1 := hi
+		hi -= n
+		return c1 - n + 1, c1, true
+	}
+
+	wg := r.Env.NewWaitGroup()
+	var firstErr error
+	var dyn vm.Stats // aggregate dynamic stats across every chunk launch
+	subkernels := 0
+
+	for di := range r.devs {
+		di := di
+		dev := r.devs[di]
+		wg.Add(1)
+		r.Env.Go(fmt.Sprintf("topo-dev%d-k%d", di, kid), func(sp *sim.Proc) {
+			defer wg.Done()
+			cus := dev.Cfg.ComputeUnits
+			chunk := int(math.Round(float64(total) * r.opts.InitialChunkPct / 100))
+			if chunk < 1 {
+				chunk = 1
+			}
+			if chunk < cus && total >= cus {
+				chunk = cus
+			}
+			step := int(math.Round(float64(total) * r.opts.StepPct / 100))
+			if step < 1 && r.opts.StepPct > 0 {
+				step = 1
+			}
+			prevAvg := math.MaxFloat64
+			for firstErr == nil {
+				// Launch whole waves (§5.1's resource-utilization concern).
+				launchChunk := chunk
+				if launchChunk > cus {
+					launchChunk = (launchChunk / cus) * cus
+				}
+				clo, chi, ok := claim(dev.Cfg.Kind, launchChunk)
+				if !ok {
+					return
+				}
+				ndSlice := nd.Slice(clo, chi)
+				cargs := make([]ocl.Arg, 0, len(args)+passes.CPUExtraArgs)
+				for _, a := range args {
+					cargs = append(cargs, a.topo(di))
+				}
+				cargs = append(cargs, ocl.IntArg(int64(clo)), ocl.IntArg(int64(chi)))
+				t0 := sp.Now()
+				ev, res := r.qs[di].EnqueueNDRangeKernel(k.ks[di], ndSlice, cargs, ocl.LaunchOpts{
+					Split:   dev.Cfg.Kind == device.CPU && !r.opts.NoWorkGroupSplit && split,
+					Backend: r.opts.Backend,
+				})
+				sp.Wait(ev)
+				if res.Err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("core: device %d execution of %q: %w", di, k.Name, res.Err)
+					}
+					return
+				}
+				dyn.Add(res.Stats)
+				n := chi - clo + 1
+				rep.DeviceWGs[di] += n
+				if dev.Cfg.Kind == device.CPU {
+					rep.CPUWGs += n
+				} else {
+					rep.GPUExecuted += n
+				}
+				subkernels++
+
+				// Validate the chunk's dynamic writes against the certificate
+				// windows its ships rely on, then ship each out buffer's
+				// window over this device's link to the host root.
+				if err := r.shipChunk(di, kid, clo, chi, nd, k, outs, res.Stats, wg); err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
+
+				// Adaptive chunk sizing (§5.1): grow while time per
+				// work-group keeps improving on this device.
+				avg := (sp.Now() - t0) / float64(n)
+				if avg < prevAvg {
+					chunk += step
+				}
+				prevAvg = avg
+			}
+		})
+	}
+
+	// Blocking kernel call: join every worker and every in-flight ship, then
+	// commit the host-rooted merge and rebroadcast.
+	wg.Wait(p)
+	rep.Subkernels = subkernels
+	rep.CPUDidAll = rep.GPUExecuted == 0
+	if firstErr != nil {
+		r.deferredErr = firstErr
+		return firstErr
+	}
+
+	// Global dynamic-access cross-check against the static summary every
+	// elision relied on (the per-chunk window checks ran in shipChunk).
+	if k.Sum != nil {
+		origMask := ^uint64(0)
+		if n := len(k.Info.Kernel.Params); n < 64 {
+			origMask = (1 << uint(n)) - 1
+		}
+		if bad := dyn.ParamReadMask & origMask &^ k.chkRead; bad != 0 {
+			r.deferredErr = fmt.Errorf("core: kernel %q: dynamic read of parameter %d outside the static access summary",
+				k.Name, bits.TrailingZeros64(bad))
+			return r.deferredErr
+		}
+		if bad := dyn.ParamWriteMask & origMask &^ k.chkWrite; bad != 0 {
+			r.deferredErr = fmt.Errorf("core: kernel %q: dynamic write of parameter %d outside the static access summary",
+				k.Name, bits.TrailingZeros64(bad))
+			return r.deferredErr
+		}
+	}
+
+	// Commit and refresh: the merged result becomes the host truth, and every
+	// device's copy is refreshed so the next kernel may run anywhere. The
+	// refreshes are not waited on — each in-order device queue sequences them
+	// before that device's next chunk launch, overlapping transfer with any
+	// host-side work (§5.5 generalized).
+	for _, o := range outs {
+		copy(o.b.host, o.res)
+		snap := append([]byte(nil), o.b.host...)
+		for di, q := range r.qs {
+			q.EnqueueWriteBufferTagged(o.b.bufs[di], snap, "refresh")
+		}
+	}
+	rep.End = p.Now()
+	return nil
+}
+
+// shipChunk validates one completed chunk's dynamic writes against the
+// certificate windows and ships each out buffer's narrowed byte range from
+// device di to the host root, diff-merging on arrival. The read is enqueued
+// on the device's in-order queue (ordered after the chunk that produced the
+// data); a helper process joins the transfer and merges, so the worker never
+// blocks on its own ships. wg tracks each in-flight ship so the kernel call
+// can join them all.
+func (r *TopoRuntime) shipChunk(di, kid, lo, hi int, nd vm.NDRange, k *TopoKernel,
+	outs []*topoOut, stats vm.Stats, wg *sim.WaitGroup) error {
+
+	for _, o := range outs {
+		off, end := o.shipRange(nd, lo, hi)
+		if o.el.slotExact || o.el.writes != nil {
+			// The ship was narrowed on a static promise; a dynamic write
+			// outside the window means merged results may be silently wrong,
+			// which must be a hard error.
+			if o.idx < len(stats.WrLo) && stats.ParamWriteMask&(1<<uint(o.idx)) != 0 {
+				if int(stats.WrLo[o.idx]) < off || int(stats.WrHi[o.idx]) > end {
+					return fmt.Errorf("core: kernel %q: chunk [%d,%d] on device %d wrote buffer %q outside its certified window (bytes [%d,%d) vs [%d,%d))",
+						k.Name, lo, hi, di, k.Info.Kernel.Params[o.idx].Name,
+						stats.WrLo[o.idx], stats.WrHi[o.idx], off, end)
+				}
+			}
+			r.countShipBytesSkipped(int64(o.b.Size - (end - off)))
+			r.countMergeWordsElided(int64(o.b.Size-(end-off)) / 4)
+		}
+		if end == off {
+			continue
+		}
+		o := o
+		data := make([]byte, end-off)
+		ev := r.qs[di].EnqueueReadBufferAtTagged(o.b.bufs[di], off, data, "ship")
+		wg.Add(1)
+		r.Env.Go(fmt.Sprintf("topo-ship-d%d-k%d-lo%d", di, kid, lo), func(mp *sim.Proc) {
+			defer wg.Done()
+			mp.Wait(ev)
+			// Host-rooted diff-merge (§4.3): a word differing from the
+			// pre-kernel snapshot was computed by this chunk; equal words are
+			// either untouched or recomputed identically elsewhere. Hull
+			// over-approximation is safe: bytes inside the window that this
+			// chunk did not write still hold pre-kernel data on the device,
+			// which compares equal to orig.
+			orig, res := o.orig, o.res
+			for w := 0; w+4 <= len(data); w += 4 {
+				b := off + w
+				if data[w] != orig[b] || data[w+1] != orig[b+1] ||
+					data[w+2] != orig[b+2] || data[w+3] != orig[b+3] {
+					copy(res[b:b+4], data[w:w+4])
+				}
+			}
+		})
+	}
+	return nil
+}
+
+// ---- counters ----
+
+// Counters returns this runtime's elision counters.
+func (r *TopoRuntime) Counters() Counters {
+	return Counters{
+		ShipBytesSkipped: atomic.LoadInt64(&r.ctr.ShipBytesSkipped),
+		MergeWordsElided: atomic.LoadInt64(&r.ctr.MergeWordsElided),
+		SplitsUnvetoed:   atomic.LoadInt64(&r.ctr.SplitsUnvetoed),
+	}
+}
+
+func (r *TopoRuntime) countShipBytesSkipped(n int64) {
+	atomic.AddInt64(&r.ctr.ShipBytesSkipped, n)
+	atomic.AddInt64(&globalCounters.ShipBytesSkipped, n)
+}
+
+func (r *TopoRuntime) countMergeWordsElided(n int64) {
+	atomic.AddInt64(&r.ctr.MergeWordsElided, n)
+	atomic.AddInt64(&globalCounters.MergeWordsElided, n)
+}
+
+func (r *TopoRuntime) countSplitUnvetoed() {
+	atomic.AddInt64(&r.ctr.SplitsUnvetoed, 1)
+	atomic.AddInt64(&globalCounters.SplitsUnvetoed, 1)
+}

@@ -92,7 +92,10 @@ type KernelReport struct {
 	Subkernels  int
 	CPUDidAll   bool
 	VariantUsed int
-	Start, End  sim.Time
+	// DeviceWGs is the per-device work-group count, indexed by topology
+	// device position (N-way runtime only; nil for the twin runtime).
+	DeviceWGs  []int
+	Start, End sim.Time
 }
 
 // Runtime is a FluidiCL instance bound to one CPU and one GPU device.
@@ -529,16 +532,36 @@ const (
 	ArgFloat
 )
 
-// Arg is a FluidiCL kernel argument.
+// Arg is a FluidiCL kernel argument. Buffer arguments carry either a twin
+// Buffer (the two-device runtime) or a TopoBuffer (the N-way runtime) —
+// scalar arguments are shared between both.
 type Arg struct {
 	Kind ArgKind
 	Buf  *Buffer
+	TBuf *TopoBuffer
 	I    int64
 	F    float64
 }
 
 // BufArg makes a buffer argument.
 func BufArg(b *Buffer) Arg { return Arg{Kind: ArgBuf, Buf: b} }
+
+// TopoBufArg makes a buffer argument for the N-way runtime.
+func TopoBufArg(b *TopoBuffer) Arg { return Arg{Kind: ArgBuf, TBuf: b} }
+
+// argBufSize returns the byte size of a buffer argument's backing object,
+// whichever runtime it belongs to, or -1 for a non-buffer / unbound arg.
+func argBufSize(a Arg) int {
+	switch {
+	case a.Kind != ArgBuf:
+		return -1
+	case a.Buf != nil:
+		return a.Buf.Size
+	case a.TBuf != nil:
+		return a.TBuf.Size
+	}
+	return -1
+}
 
 // IntArg makes an int argument.
 func IntArg(v int64) Arg { return Arg{Kind: ArgInt, I: v} }

@@ -217,12 +217,25 @@ type Device struct {
 	linkTrk int
 }
 
-// New creates a device in env. If env.Trace is already set, the device
-// registers its compute and link tracks now (so every device and link gets a
-// track even if it stays idle); otherwise tracks are registered lazily on
-// the first recorded event.
+// New creates a device in env with a dedicated point-to-point host link. If
+// env.Trace is already set, the device registers its compute and link tracks
+// now (so every device and link gets a track even if it stays idle);
+// otherwise tracks are registered lazily on the first recorded event.
 func New(env *sim.Env, cfg Config) *Device {
-	d := &Device{Env: env, Cfg: cfg, link: sim.NewResource(env, 1), trk: -1, linkTrk: -1}
+	return NewOnBus(env, cfg, nil)
+}
+
+// NewOnBus creates a device whose host link contends on the given shared bus
+// resource: transfers on every device sharing the resource serialize, as on
+// a PCIe switch or shared front-side bus (Topology.Build wires this up). A
+// nil bus gives the device a dedicated point-to-point link, which is New's
+// behavior and contends only with the device's own queued transfers.
+func NewOnBus(env *sim.Env, cfg Config, bus *sim.Resource) *Device {
+	link := bus
+	if link == nil {
+		link = sim.NewResource(env, 1)
+	}
+	d := &Device{Env: env, Cfg: cfg, link: link, trk: -1, linkTrk: -1}
 	d.mi = env.Meter.AddDevice(cfg.Name, cfg.Kind.String())
 	if rec := env.Trace; rec != nil {
 		d.registerTracks(rec)

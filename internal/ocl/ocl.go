@@ -252,13 +252,19 @@ func (q *CommandQueue) EnqueueReadBuffer(b *Buffer, dst []byte) *sim.Event {
 // EnqueueReadBufferAt copies the device buffer's byte range [off, off+len(dst))
 // into host bytes (clEnqueueReadBuffer with a non-zero offset).
 func (q *CommandQueue) EnqueueReadBufferAt(b *Buffer, off int, dst []byte) *sim.Event {
+	return q.EnqueueReadBufferAtTagged(b, off, dst, "read")
+}
+
+// EnqueueReadBufferAtTagged is EnqueueReadBufferAt with a trace label naming
+// the transfer's role (the N-way runtime tags its chunk-result reads "ship").
+func (q *CommandQueue) EnqueueReadBufferAtTagged(b *Buffer, off int, dst []byte, label string) *sim.Event {
 	if off < 0 || off+len(dst) > b.Size {
 		panic(fmt.Sprintf("ocl: read of %d bytes at offset %d from %d-byte buffer", len(dst), off, b.Size))
 	}
 	t := &device.Transfer{
 		Bytes: len(dst),
 		Apply: func() { copy(dst, b.data[off:off+len(dst)]) },
-		Label: "read",
+		Label: label,
 	}
 	q.q.Enqueue(t)
 	return t.Done

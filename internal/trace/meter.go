@@ -2,7 +2,7 @@ package trace
 
 // maxDevices bounds the fixed-size device array inside Meter. A Meter is
 // embedded by value in sim.Env so that metering never allocates; the largest
-// machine the experiments build has two devices, so eight is generous.
+// topology the experiments build has four devices, so eight is generous.
 // Devices registered beyond the bound are simply not metered.
 const maxDevices = 8
 
@@ -33,9 +33,12 @@ type Meter struct {
 	// Compute-overlap tracking. Each device runs at most one launch at a
 	// time (launches serialize on the device's in-order queue process), so
 	// counting active launches counts busy devices. When the count rises to
-	// two, both devices are computing; the time until it drops back below
-	// two is accumulated as BothBusy — the paper's §5.5 overlap that hides
-	// transfer and scheduling overhead.
+	// two, at least two devices are computing; the time until it drops back
+	// below two is accumulated as BothBusy — the paper's §5.5 overlap that
+	// hides transfer and scheduling overhead, generalized to "two or more
+	// devices busy" on an N-device topology (the 3->2 transition records
+	// nothing and the 2->1 transition closes the whole interval, so the
+	// accumulator is exact for any device count).
 	active    int
 	bothSince float64
 	bothBusy  float64
@@ -112,8 +115,8 @@ func (m *Meter) Summary() Summary {
 // the computation overlapped across devices.
 type Summary struct {
 	Devices []DeviceMeter `json:"devices,omitempty"`
-	// BothBusy is the virtual time during which two devices were computing
-	// simultaneously (the §5.5 overlap).
+	// BothBusy is the virtual time during which at least two devices were
+	// computing simultaneously (the §5.5 overlap).
 	BothBusy float64 `json:"both_busy_seconds"`
 }
 

@@ -11,12 +11,18 @@
 # Wall clock is host time and therefore noisy; the default tolerance is wide
 # and the CI job running this is non-blocking. Regenerate the baseline on an
 # intentional perf change with `make bench-baseline`.
+#
+# Per-experiment verdicts are also written as JSON to $BENCH_GATE_JSON
+# (default benchgate.json in the repo root) so CI can upload them as an
+# artifact; benchgate itself appends a markdown table to
+# $GITHUB_STEP_SUMMARY when that is set.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 tol="${BENCH_GATE_TOL_PCT:-25}"
 min="${BENCH_GATE_MIN_SEC:-0.05}"
+jsonout="${BENCH_GATE_JSON:-benchgate.json}"
 
 tmp="$(mktemp -t benchgate.XXXXXX.json)"
 trap 'rm -f "$tmp"' EXIT
@@ -24,4 +30,4 @@ trap 'rm -f "$tmp"' EXIT
 echo "bench_gate: running quick-scale suite (tolerance ${tol}%)..."
 go run ./cmd/fluidibench -quick -backend=wg -jsonout "$tmp" all >/dev/null
 
-go run ./cmd/benchgate -baseline BENCH_03.json -current "$tmp" -tol "$tol" -min "$min"
+go run ./cmd/benchgate -baseline BENCH_03.json -current "$tmp" -tol "$tol" -min "$min" -jsonout "$jsonout"
