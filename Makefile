@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt-check lint lint-json build vet test race bench-smoke bench bench-baseline bench-baseline-closure bench-baseline-interp bench-gate
+.PHONY: check fmt-check lint lint-json build vet test race bench-smoke bench bench-baseline bench-baseline-wg bench-baseline-closure bench-baseline-interp bench-gate
 
 # The fast CI gate: formatting, build, vet, tests, kernel lint, benchmark
 # smoke. The race-detector suite is deliberately NOT in here — it reruns
@@ -47,12 +47,17 @@ bench-smoke:
 bench:
 	$(GO) test -bench . -benchmem -benchtime=3x -run '^$$' .
 
-# Regenerate the BENCH_03.json wall-clock baseline (quick scale, wg backend
-# — the whole-work-group engine the bench gate now tracks). BENCH_01.json
-# (interpreter era) and BENCH_02.json (closure era) are the historical
-# baselines each successive backend was measured against; regenerate them
-# with the variants below on intentional changes to those engines.
+# Regenerate the BENCH_04.json wall-clock baseline (quick scale, wg backend,
+# delta-refresh transfer planner — what the bench gate now tracks).
+# BENCH_01.json (interpreter era), BENCH_02.json (closure era) and
+# BENCH_03.json (wg era, pre-planner) are the historical baselines each
+# successive engine was measured against; regenerate them with the variants
+# below on intentional changes to those engines.
 bench-baseline:
+	$(GO) run ./cmd/fluidibench -quick -backend=wg -jsonout BENCH_04.json all >/dev/null
+	@cat BENCH_04.json
+
+bench-baseline-wg:
 	$(GO) run ./cmd/fluidibench -quick -backend=wg -jsonout BENCH_03.json all >/dev/null
 	@cat BENCH_03.json
 
@@ -65,7 +70,7 @@ bench-baseline-interp:
 	@cat BENCH_01.json
 
 # Compare a fresh quick-scale wg-backend run against the committed
-# BENCH_03.json wall clock baseline; fails on regression past tolerance
+# BENCH_04.json wall clock baseline; fails on regression past tolerance
 # (BENCH_GATE_TOL_PCT, default 25%). Non-blocking in CI — wall clock is
 # noisy.
 bench-gate:

@@ -131,9 +131,16 @@ func main() {
 		writeWalls(*jsonOut, walls)
 		return
 	case "hash":
+		// Stdout stays pure "NAME HASH" lines (the CI matrix diffs them
+		// verbatim across topologies); counters go to -jsonout only.
+		before := core.CounterSnapshot()
+		beforeS := trace.GlobalSnapshot()
+		start := time.Now()
 		if err := runHash(*quick, *topology); err != nil {
 			fatal(err)
 		}
+		writeWalls(*jsonOut, []wallEntry{newWallEntry("hash", time.Since(start).Seconds(),
+			core.CounterSnapshot().Sub(before), trace.GlobalSnapshot().Sub(beforeS))})
 		return
 	case "run":
 		if len(args) < 2 {
@@ -187,16 +194,22 @@ type wallEntry struct {
 	PrimeCopiesElided int64   `json:"prime_copies_elided"`
 	ShipBytesSkipped  int64   `json:"ship_bytes_skipped"`
 	MergeWordsElided  int64   `json:"merge_words_elided"`
-	FluidiCLRuns      int64   `json:"fluidicl_runs"`
-	CPUBusySeconds    float64 `json:"cpu_busy_seconds"`
-	GPUBusySeconds    float64 `json:"gpu_busy_seconds"`
-	BothBusySeconds   float64 `json:"both_busy_seconds"`
-	CPUWGs            int64   `json:"cpu_wgs"`
-	GPUWGs            int64   `json:"gpu_wgs"`
-	LinkBusySeconds   float64 `json:"link_busy_seconds"`
-	BytesH2D          int64   `json:"bytes_h2d"`
-	BytesD2H          int64   `json:"bytes_d2h"`
-	OverlapFrac       float64 `json:"overlap_frac"`
+	// Delta-refresh planner activity (N-way topology runs): bytes the
+	// planner did not rebroadcast relative to a full per-device refresh,
+	// delta scatter-writes enqueued, and the H2D bytes those deltas carried.
+	RefreshBytesSkipped int64   `json:"refresh_bytes_skipped"`
+	RefreshDeltas       int64   `json:"refresh_deltas"`
+	BytesRefresh        int64   `json:"bytes_refresh"`
+	FluidiCLRuns        int64   `json:"fluidicl_runs"`
+	CPUBusySeconds      float64 `json:"cpu_busy_seconds"`
+	GPUBusySeconds      float64 `json:"gpu_busy_seconds"`
+	BothBusySeconds     float64 `json:"both_busy_seconds"`
+	CPUWGs              int64   `json:"cpu_wgs"`
+	GPUWGs              int64   `json:"gpu_wgs"`
+	LinkBusySeconds     float64 `json:"link_busy_seconds"`
+	BytesH2D            int64   `json:"bytes_h2d"`
+	BytesD2H            int64   `json:"bytes_d2h"`
+	OverlapFrac         float64 `json:"overlap_frac"`
 	// VM backend activity: work-groups per execution engine and static
 	// superinstruction coverage of the kernels compiled during the run.
 	ClosureWGs  int64 `json:"closure_wgs"`
@@ -228,40 +241,43 @@ type wallEntry struct {
 
 func newWallEntry(id string, wall float64, c core.Counters, s trace.GlobalSummary) wallEntry {
 	return wallEntry{
-		ID:                id,
-		WallSeconds:       wall,
-		UploadsSkipped:    c.UploadsSkipped,
-		PrimeCopiesElided: c.PrimeCopiesElided,
-		ShipBytesSkipped:  c.ShipBytesSkipped,
-		MergeWordsElided:  c.MergeWordsElided,
-		FluidiCLRuns:      s.Runs,
-		CPUBusySeconds:    s.CPUBusy,
-		GPUBusySeconds:    s.GPUBusy,
-		BothBusySeconds:   s.BothBusy,
-		CPUWGs:            s.CPUWGs,
-		GPUWGs:            s.GPUWGs,
-		LinkBusySeconds:   s.LinkBusy,
-		BytesH2D:          s.BytesH2D,
-		BytesD2H:          s.BytesD2H,
-		OverlapFrac:       s.OverlapFrac(),
-		ClosureWGs:        c.ClosureWGs,
-		InterpWGs:         c.InterpWGs,
-		FusedInstrs:       c.FusedInstrs,
-		TotalInstrs:       c.TotalInstrs,
-		WGLoopWGs:         c.WGLoopWGs,
-		WGFallbackWGs:     c.WGFallbackWGs,
-		WGKernels:         c.WGKernels,
-		WGRegions:         c.WGRegions,
-		SplitsUnvetoed:    c.SplitsUnvetoed,
-		WGStridedWGs:      c.WGStridedWGs,
-		WGCertRejShape:    c.WGCertRejShape,
-		WGCertRejAlias:    c.WGCertRejAlias,
-		WGCertRejNoSum:    c.WGCertRejNoSum,
-		WGCertRejLocal:    c.WGCertRejLocal,
-		WGCertRejUnkStore: c.WGCertRejUnkStore,
-		WGCertRejUnkRead:  c.WGCertRejUnkRead,
-		WGCertRejOverlap:  c.WGCertRejOverlap,
-		WGCertRejBudget:   c.WGCertRejBudget,
+		ID:                  id,
+		WallSeconds:         wall,
+		UploadsSkipped:      c.UploadsSkipped,
+		PrimeCopiesElided:   c.PrimeCopiesElided,
+		ShipBytesSkipped:    c.ShipBytesSkipped,
+		MergeWordsElided:    c.MergeWordsElided,
+		RefreshBytesSkipped: c.RefreshBytesSkipped,
+		RefreshDeltas:       c.RefreshDeltas,
+		BytesRefresh:        s.BytesRefresh,
+		FluidiCLRuns:        s.Runs,
+		CPUBusySeconds:      s.CPUBusy,
+		GPUBusySeconds:      s.GPUBusy,
+		BothBusySeconds:     s.BothBusy,
+		CPUWGs:              s.CPUWGs,
+		GPUWGs:              s.GPUWGs,
+		LinkBusySeconds:     s.LinkBusy,
+		BytesH2D:            s.BytesH2D,
+		BytesD2H:            s.BytesD2H,
+		OverlapFrac:         s.OverlapFrac(),
+		ClosureWGs:          c.ClosureWGs,
+		InterpWGs:           c.InterpWGs,
+		FusedInstrs:         c.FusedInstrs,
+		TotalInstrs:         c.TotalInstrs,
+		WGLoopWGs:           c.WGLoopWGs,
+		WGFallbackWGs:       c.WGFallbackWGs,
+		WGKernels:           c.WGKernels,
+		WGRegions:           c.WGRegions,
+		SplitsUnvetoed:      c.SplitsUnvetoed,
+		WGStridedWGs:        c.WGStridedWGs,
+		WGCertRejShape:      c.WGCertRejShape,
+		WGCertRejAlias:      c.WGCertRejAlias,
+		WGCertRejNoSum:      c.WGCertRejNoSum,
+		WGCertRejLocal:      c.WGCertRejLocal,
+		WGCertRejUnkStore:   c.WGCertRejUnkStore,
+		WGCertRejUnkRead:    c.WGCertRejUnkRead,
+		WGCertRejOverlap:    c.WGCertRejOverlap,
+		WGCertRejBudget:     c.WGCertRejBudget,
 	}
 }
 

@@ -142,14 +142,17 @@ func runDistTopology(quick, csv bool, topoSpec string) error {
 		ID:    "dist",
 		Title: fmt.Sprintf("FluidiCL work distribution on topology %s", topo.String()),
 		Note: "per-benchmark FluidiCL run: one row per device with its share of the\n" +
-			"work-groups, virtual busy and link time, and bytes over its host link",
-		Columns: []string{"Benchmark", "Device", "WGs", "share", "busy", "link-busy", "link-wait", "H2D-KB", "D2H-KB", "time-ms"},
+			"work-groups, virtual busy and link time, and bytes over its host link\n" +
+			"(rf-KB: delta-refresh H2D bytes; rf-skip-KB: refresh bytes the planner elided)",
+		Columns: []string{"Benchmark", "Device", "WGs", "share", "busy", "link-busy", "link-wait", "H2D-KB", "rf-KB", "D2H-KB", "rf-skip-KB", "time-ms"},
 	}
 	for _, b := range benches {
+		before := core.CounterSnapshot()
 		res, err := sched.RunTopology(topo, b.App, core.Options{})
 		if err != nil {
 			return fmt.Errorf("%s: %w", b.Name, err)
 		}
+		delta := core.CounterSnapshot().Sub(before)
 		if err := b.Verify(res.Outputs); err != nil {
 			return fmt.Errorf("%s: wrong results: %w", b.Name, err)
 		}
@@ -182,10 +185,13 @@ func runDistTopology(quick, csv bool, topoSpec string) error {
 			if i < len(res.Summary.Devices) {
 				d = res.Summary.Devices[i]
 			}
-			name, timeCol := "", ""
+			name, timeCol, rfSkipCol := "", "", ""
 			if i == 0 {
 				name = b.Name
 				timeCol = fmt.Sprintf("%.3f", res.Time*1e3)
+				// rf-skip is benchmark-level (the planner books skips per
+				// buffer and device, not per link), so it rides the first row.
+				rfSkipCol = fmt.Sprintf("%.1f", float64(delta.RefreshBytesSkipped)/1024)
 			}
 			t.AddRow(name,
 				d.Name,
@@ -195,7 +201,9 @@ func runDistTopology(quick, csv bool, topoSpec string) error {
 				fmt.Sprintf("%.2fms", d.LinkBusy*1e3),
 				fmt.Sprintf("%.2fms", d.LinkWait*1e3),
 				fmt.Sprintf("%.1f", float64(d.BytesH2D)/1024),
+				fmt.Sprintf("%.1f", float64(d.BytesRefresh)/1024),
 				fmt.Sprintf("%.1f", float64(d.BytesD2H)/1024),
+				rfSkipCol,
 				timeCol)
 		}
 	}

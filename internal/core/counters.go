@@ -27,6 +27,15 @@ type Counters struct {
 	// only because the strided disjointness certificate overturned a
 	// conservative race veto.
 	SplitsUnvetoed int64
+	// RefreshBytesSkipped counts bytes the N-way delta-refresh planner did
+	// NOT rebroadcast after kernels, relative to the old full per-device
+	// refresh: per out buffer and device, the buffer size minus that
+	// device's dirty delta (owner-skip plus unchanged words), plus pending
+	// deltas dropped outright under a full-overwrite certificate.
+	RefreshBytesSkipped int64
+	// RefreshDeltas counts the delta scatter-writes ("refresh" transfers)
+	// the planner enqueued to bring a stale device copy current.
+	RefreshDeltas int64
 
 	// VM backend activity (process-global, from vm.BackendSnapshot; only
 	// CounterSnapshot fills these). ClosureWGs/InterpWGs count work-group
@@ -73,56 +82,60 @@ var globalCounters Counters
 func CounterSnapshot() Counters {
 	b := vm.BackendSnapshot()
 	return Counters{
-		UploadsSkipped:    atomic.LoadInt64(&globalCounters.UploadsSkipped),
-		PrimeCopiesElided: atomic.LoadInt64(&globalCounters.PrimeCopiesElided),
-		ShipBytesSkipped:  atomic.LoadInt64(&globalCounters.ShipBytesSkipped),
-		MergeWordsElided:  atomic.LoadInt64(&globalCounters.MergeWordsElided),
-		SplitsUnvetoed:    atomic.LoadInt64(&globalCounters.SplitsUnvetoed),
-		ClosureWGs:        b.ClosureWGs,
-		InterpWGs:         b.InterpWGs,
-		FusedInstrs:       b.FusedInstrs,
-		TotalInstrs:       b.TotalInstrs,
-		WGLoopWGs:         b.WGLoopWGs,
-		WGFallbackWGs:     b.WGFallbackWGs,
-		WGKernels:         b.WGKernels,
-		WGRegions:         b.WGRegions,
-		WGStridedWGs:      b.WGStridedWGs,
-		WGCertRejShape:    b.WGRejects[vm.WGRejShape],
-		WGCertRejAlias:    b.WGRejects[vm.WGRejAlias],
-		WGCertRejNoSum:    b.WGRejects[vm.WGRejNoSummary],
-		WGCertRejLocal:    b.WGRejects[vm.WGRejLocalStore],
-		WGCertRejUnkStore: b.WGRejects[vm.WGRejUnknownStore],
-		WGCertRejUnkRead:  b.WGRejects[vm.WGRejUnknownRead],
-		WGCertRejOverlap:  b.WGRejects[vm.WGRejOverlap],
-		WGCertRejBudget:   b.WGRejects[vm.WGRejBudget],
+		UploadsSkipped:      atomic.LoadInt64(&globalCounters.UploadsSkipped),
+		PrimeCopiesElided:   atomic.LoadInt64(&globalCounters.PrimeCopiesElided),
+		ShipBytesSkipped:    atomic.LoadInt64(&globalCounters.ShipBytesSkipped),
+		MergeWordsElided:    atomic.LoadInt64(&globalCounters.MergeWordsElided),
+		SplitsUnvetoed:      atomic.LoadInt64(&globalCounters.SplitsUnvetoed),
+		RefreshBytesSkipped: atomic.LoadInt64(&globalCounters.RefreshBytesSkipped),
+		RefreshDeltas:       atomic.LoadInt64(&globalCounters.RefreshDeltas),
+		ClosureWGs:          b.ClosureWGs,
+		InterpWGs:           b.InterpWGs,
+		FusedInstrs:         b.FusedInstrs,
+		TotalInstrs:         b.TotalInstrs,
+		WGLoopWGs:           b.WGLoopWGs,
+		WGFallbackWGs:       b.WGFallbackWGs,
+		WGKernels:           b.WGKernels,
+		WGRegions:           b.WGRegions,
+		WGStridedWGs:        b.WGStridedWGs,
+		WGCertRejShape:      b.WGRejects[vm.WGRejShape],
+		WGCertRejAlias:      b.WGRejects[vm.WGRejAlias],
+		WGCertRejNoSum:      b.WGRejects[vm.WGRejNoSummary],
+		WGCertRejLocal:      b.WGRejects[vm.WGRejLocalStore],
+		WGCertRejUnkStore:   b.WGRejects[vm.WGRejUnknownStore],
+		WGCertRejUnkRead:    b.WGRejects[vm.WGRejUnknownRead],
+		WGCertRejOverlap:    b.WGRejects[vm.WGRejOverlap],
+		WGCertRejBudget:     b.WGRejects[vm.WGRejBudget],
 	}
 }
 
 // Sub returns c - o, for before/after snapshots around one experiment.
 func (c Counters) Sub(o Counters) Counters {
 	return Counters{
-		UploadsSkipped:    c.UploadsSkipped - o.UploadsSkipped,
-		PrimeCopiesElided: c.PrimeCopiesElided - o.PrimeCopiesElided,
-		ShipBytesSkipped:  c.ShipBytesSkipped - o.ShipBytesSkipped,
-		MergeWordsElided:  c.MergeWordsElided - o.MergeWordsElided,
-		SplitsUnvetoed:    c.SplitsUnvetoed - o.SplitsUnvetoed,
-		ClosureWGs:        c.ClosureWGs - o.ClosureWGs,
-		InterpWGs:         c.InterpWGs - o.InterpWGs,
-		FusedInstrs:       c.FusedInstrs - o.FusedInstrs,
-		TotalInstrs:       c.TotalInstrs - o.TotalInstrs,
-		WGLoopWGs:         c.WGLoopWGs - o.WGLoopWGs,
-		WGFallbackWGs:     c.WGFallbackWGs - o.WGFallbackWGs,
-		WGKernels:         c.WGKernels - o.WGKernels,
-		WGRegions:         c.WGRegions - o.WGRegions,
-		WGStridedWGs:      c.WGStridedWGs - o.WGStridedWGs,
-		WGCertRejShape:    c.WGCertRejShape - o.WGCertRejShape,
-		WGCertRejAlias:    c.WGCertRejAlias - o.WGCertRejAlias,
-		WGCertRejNoSum:    c.WGCertRejNoSum - o.WGCertRejNoSum,
-		WGCertRejLocal:    c.WGCertRejLocal - o.WGCertRejLocal,
-		WGCertRejUnkStore: c.WGCertRejUnkStore - o.WGCertRejUnkStore,
-		WGCertRejUnkRead:  c.WGCertRejUnkRead - o.WGCertRejUnkRead,
-		WGCertRejOverlap:  c.WGCertRejOverlap - o.WGCertRejOverlap,
-		WGCertRejBudget:   c.WGCertRejBudget - o.WGCertRejBudget,
+		UploadsSkipped:      c.UploadsSkipped - o.UploadsSkipped,
+		PrimeCopiesElided:   c.PrimeCopiesElided - o.PrimeCopiesElided,
+		ShipBytesSkipped:    c.ShipBytesSkipped - o.ShipBytesSkipped,
+		MergeWordsElided:    c.MergeWordsElided - o.MergeWordsElided,
+		SplitsUnvetoed:      c.SplitsUnvetoed - o.SplitsUnvetoed,
+		RefreshBytesSkipped: c.RefreshBytesSkipped - o.RefreshBytesSkipped,
+		RefreshDeltas:       c.RefreshDeltas - o.RefreshDeltas,
+		ClosureWGs:          c.ClosureWGs - o.ClosureWGs,
+		InterpWGs:           c.InterpWGs - o.InterpWGs,
+		FusedInstrs:         c.FusedInstrs - o.FusedInstrs,
+		TotalInstrs:         c.TotalInstrs - o.TotalInstrs,
+		WGLoopWGs:           c.WGLoopWGs - o.WGLoopWGs,
+		WGFallbackWGs:       c.WGFallbackWGs - o.WGFallbackWGs,
+		WGKernels:           c.WGKernels - o.WGKernels,
+		WGRegions:           c.WGRegions - o.WGRegions,
+		WGStridedWGs:        c.WGStridedWGs - o.WGStridedWGs,
+		WGCertRejShape:      c.WGCertRejShape - o.WGCertRejShape,
+		WGCertRejAlias:      c.WGCertRejAlias - o.WGCertRejAlias,
+		WGCertRejNoSum:      c.WGCertRejNoSum - o.WGCertRejNoSum,
+		WGCertRejLocal:      c.WGCertRejLocal - o.WGCertRejLocal,
+		WGCertRejUnkStore:   c.WGCertRejUnkStore - o.WGCertRejUnkStore,
+		WGCertRejUnkRead:    c.WGCertRejUnkRead - o.WGCertRejUnkRead,
+		WGCertRejOverlap:    c.WGCertRejOverlap - o.WGCertRejOverlap,
+		WGCertRejBudget:     c.WGCertRejBudget - o.WGCertRejBudget,
 	}
 }
 

@@ -44,6 +44,17 @@ type TopoRuntime struct {
 	deferredErr error
 	ctr         Counters
 
+	// Merge-path pools (all touched only inside the cooperative engine):
+	// bp recycles per-chunk ship buffers, per-kernel orig snapshots and
+	// flush snapshots; sp recycles the span slices detached into in-flight
+	// scatter refreshes; outFree recycles topoOut bookkeeping; cargs keeps
+	// one reusable ocl arg slice per device (chunk launches bind args at
+	// enqueue time, so the slice may be rewritten between launches).
+	bp      bytePool
+	sp      spanPool
+	outFree []*topoOut
+	cargs   [][]ocl.Arg
+
 	Reports []*KernelReport
 }
 
@@ -60,6 +71,7 @@ func NewTopo(env *sim.Env, devs []*device.Device, opts Options) (*TopoRuntime, e
 		r.ctxs = append(r.ctxs, ctx)
 		r.qs = append(r.qs, ctx.CreateQueue("app"))
 	}
+	r.cargs = make([][]ocl.Arg, len(devs))
 	return r, nil
 }
 
@@ -77,20 +89,33 @@ func MustNewTopo(env *sim.Env, devs []*device.Device, opts Options) *TopoRuntime
 func (r *TopoRuntime) Err() error { return r.deferredErr }
 
 // TopoBuffer is an N-way memory object: one buffer per device plus the host
-// shadow the merge is rooted at. Unlike the twin runtime's version/location
-// tracking, the N-way protocol keeps every device current after each kernel
-// (the refresh broadcast), so the host shadow is always the latest data once
-// a kernel call returns.
+// shadow the merge is rooted at. The host shadow is always the latest data
+// once a kernel call returns; device copies are allowed to go stale and are
+// brought current lazily by the delta-refresh planner: ver counts host-shadow
+// versions, devVer[di] is the version device di's copy last fully matched
+// (the per-device residency table), and pend[di] is the exact byte set device
+// di's copy is missing. The invariant maintained by every mutation below is
+// that a device copy differs from the host shadow only inside pend[di].
 type TopoBuffer struct {
 	rt   *TopoRuntime
 	Size int
 	bufs []*ocl.Buffer
 	host []byte
+
+	ver    int
+	devVer []int
+	pend   []intervalSet
 }
 
-// CreateBuffer creates a buffer on every device.
+// CreateBuffer creates a buffer on every device. Host shadow and device
+// copies start zero-filled and therefore identical: every pending set is
+// empty.
 func (r *TopoRuntime) CreateBuffer(size int) *TopoBuffer {
-	b := &TopoBuffer{rt: r, Size: size, host: make([]byte, size)}
+	b := &TopoBuffer{
+		rt: r, Size: size, host: make([]byte, size),
+		devVer: make([]int, len(r.ctxs)),
+		pend:   make([]intervalSet, len(r.ctxs)),
+	}
 	for _, ctx := range r.ctxs {
 		b.bufs = append(b.bufs, ctx.CreateBuffer(size))
 	}
@@ -99,15 +124,23 @@ func (r *TopoRuntime) CreateBuffer(size int) *TopoBuffer {
 
 // EnqueueWriteBuffer broadcasts host data to every device. The call
 // snapshots the data and returns immediately; each device's in-order queue
-// sequences its copy before any later kernel chunk there.
+// sequences its copy before any later kernel chunk there. The written range
+// becomes current everywhere, so it leaves every pending set.
 func (r *TopoRuntime) EnqueueWriteBuffer(p *sim.Proc, b *TopoBuffer, data []byte) {
 	if len(data) > b.Size {
 		panic("core: write larger than buffer")
 	}
 	copy(b.host, data)
+	if len(data) > 0 {
+		b.ver++
+	}
 	snap := append([]byte(nil), data...)
 	for i, q := range r.qs {
 		q.EnqueueWriteBuffer(b.bufs[i], snap)
+		b.pend[i].subtractRange(0, len(data))
+		if b.pend[i].empty() {
+			b.devVer[i] = b.ver
+		}
 	}
 }
 
@@ -221,12 +254,108 @@ func (a Arg) topo(di int) ocl.Arg {
 }
 
 // topoOut is the merge bookkeeping for one written buffer of one launch.
+// Instances and their interval sets are pooled on the runtime; orig comes
+// from the byte pool. Merges write directly into the buffer's host shadow
+// (diffing against orig), so there is no separate res copy to commit — on a
+// hard certificate error the shadow may hold a partial merge, but every
+// later call observes the deferred error, so the partial state is
+// unobservable.
 type topoOut struct {
-	b    *TopoBuffer
-	idx  int // original parameter index
-	el   elision
-	orig []byte // pre-kernel contents (identical on every device)
-	res  []byte // merge target; committed to host after the join
+	b   *TopoBuffer
+	idx int // original parameter index
+	el  elision
+	// exact: the strided footprint proves the chunk writes every byte of
+	// its ship window (MustCover + Monotone ⇒ each chunk hull is exactly
+	// tiled by its groups' must-write spans), enabling the compare-free
+	// copy fast path in diffMergeChunk.
+	exact bool
+	// staleShip: at least one device ran this kernel with a stale copy of
+	// the buffer because the full-overwrite certificate elided its delta
+	// flush; the post-join cross-check must then verify the dynamic write
+	// hull covered the whole buffer (mirroring the twin runtime's
+	// uploadSkipped check).
+	staleShip bool
+	orig      []byte // pooled pre-kernel host snapshot; merges diff against it
+	dirty     intervalSet
+	own       []intervalSet // per-device: runs that device's chunks changed
+}
+
+// getOut acquires pooled merge bookkeeping for one written buffer.
+func (r *TopoRuntime) getOut(b *TopoBuffer, idx int, el elision) *topoOut {
+	var o *topoOut
+	if n := len(r.outFree); n > 0 {
+		o = r.outFree[n-1]
+		r.outFree = r.outFree[:n-1]
+	} else {
+		o = &topoOut{own: make([]intervalSet, len(r.devs))}
+	}
+	o.b, o.idx, o.el = b, idx, el
+	o.exact = el.writes != nil && el.writes.MustCover && el.writes.Monotone()
+	o.staleShip = false
+	o.orig = r.bp.get(b.Size)
+	copy(o.orig, b.host)
+	o.dirty.reset()
+	for i := range o.own {
+		o.own[i].reset()
+	}
+	return o
+}
+
+// putOut releases o's pooled resources after the post-join commit.
+func (r *TopoRuntime) putOut(o *topoOut) {
+	r.bp.put(o.orig)
+	o.orig = nil
+	o.b = nil
+	if len(r.outFree) < maxPooledBufs {
+		r.outFree = append(r.outFree, o)
+	}
+}
+
+// flushPend brings every stale device copy of b current before a kernel
+// launch: each device with a non-empty pending set receives one scatter
+// write of exactly the bytes it is missing, enqueued on its in-order queue
+// so it lands before that device's first chunk of the kernel — pipelined
+// against other devices' transfers and compute. The pending set's span
+// array and a pooled host snapshot travel with the transfer and return to
+// their pools when the last refresh retires.
+func (r *TopoRuntime) flushPend(b *TopoBuffer, rep *KernelReport) {
+	need := 0
+	for di := range b.pend {
+		if !b.pend[di].empty() {
+			need++
+		}
+	}
+	if need == 0 {
+		return
+	}
+	snap := r.bp.get(b.Size)
+	for di := range b.pend {
+		for _, s := range b.pend[di].spans {
+			copy(snap[s.Off:s.End], b.host[s.Off:s.End])
+		}
+	}
+	left := need
+	for di := range b.pend {
+		ps := &b.pend[di]
+		if ps.empty() {
+			continue
+		}
+		// Detach the span array into the transfer; the set continues with a
+		// pooled replacement.
+		spans := ps.spans
+		ps.spans = r.sp.get()
+		ps.scratch = ps.scratch[:0]
+		r.qs[di].EnqueueWriteBufferSpansTagged(b.bufs[di], spans, snap, "refresh")
+		r.qs[di].EnqueueCall(func() {
+			r.sp.put(spans)
+			if left--; left == 0 {
+				r.bp.put(snap)
+			}
+		})
+		b.devVer[di] = b.ver
+		r.countRefreshDelta()
+		rep.RefreshDeltas++
+	}
 }
 
 // shipRange returns the [off, end) byte window of o that chunk [lo, hi] must
@@ -291,6 +420,14 @@ func (r *TopoRuntime) EnqueueNDRangeKernel(p *sim.Proc, k *TopoKernel, nd vm.NDR
 		r.countSplitUnvetoed()
 	}
 
+	// Plan the launch's transfers: for every buffer argument, first decide
+	// whether stale device copies must be flushed current (the delta
+	// refresh), then set up merge bookkeeping for written buffers. A
+	// write-only argument whose certificate proves the launch overwrites
+	// the whole buffer needs no flush — the generalized N-device form of
+	// the twin runtime's stale-upload elision; its pending bytes persist
+	// (they may well be overwritten equal and stay stale) and the post-join
+	// cross-check verifies the overwrite actually covered the buffer.
 	var outs []*topoOut
 	for i, param := range k.Info.Kernel.Params {
 		if !param.Ty.Ptr {
@@ -299,13 +436,25 @@ func (r *TopoRuntime) EnqueueNDRangeKernel(p *sim.Proc, k *TopoKernel, nd vm.NDR
 		if args[i].Kind != ArgBuf || args[i].TBuf == nil {
 			return fmt.Errorf("core: kernel %q arg %d (%s) must be a topology buffer", k.Name, i, param.Name)
 		}
-		if k.Info.ParamAccess[param.Name].Written {
-			b := args[i].TBuf
-			outs = append(outs, &topoOut{
-				b: b, idx: i, el: el[i],
-				orig: append([]byte(nil), b.host...),
-				res:  append([]byte(nil), b.host...),
-			})
+		b := args[i].TBuf
+		written := k.Info.ParamAccess[param.Name].Written
+		stale := false
+		if written && el[i].fullOverwrite && total > 0 {
+			for di := range b.pend {
+				if !b.pend[di].empty() {
+					stale = true
+					r.countRefreshBytesSkipped(int64(b.pend[di].bytes()))
+					rep.RefreshBytesSkipped += int64(b.pend[di].bytes())
+					r.countUploadSkipped()
+				}
+			}
+		} else if total > 0 {
+			r.flushPend(b, rep)
+		}
+		if written && total > 0 {
+			o := r.getOut(b, i, el[i])
+			o.staleShip = stale
+			outs = append(outs, o)
 		}
 	}
 
@@ -376,11 +525,15 @@ func (r *TopoRuntime) EnqueueNDRangeKernel(p *sim.Proc, k *TopoKernel, nd vm.NDR
 					return
 				}
 				ndSlice := nd.Slice(clo, chi)
-				cargs := make([]ocl.Arg, 0, len(args)+passes.CPUExtraArgs)
+				// One reusable arg slice per device: the launch binds args
+				// synchronously at enqueue time, so rewriting it for the
+				// next chunk is safe.
+				cargs := r.cargs[di][:0]
 				for _, a := range args {
 					cargs = append(cargs, a.topo(di))
 				}
 				cargs = append(cargs, ocl.IntArg(int64(clo)), ocl.IntArg(int64(chi)))
+				r.cargs[di] = cargs
 				t0 := sp.Now()
 				ev, res := r.qs[di].EnqueueNDRangeKernel(k.ks[di], ndSlice, cargs, ocl.LaunchOpts{
 					Split:   dev.Cfg.Kind == device.CPU && !r.opts.NoWorkGroupSplit && split,
@@ -453,17 +606,50 @@ func (r *TopoRuntime) EnqueueNDRangeKernel(p *sim.Proc, k *TopoKernel, nd vm.NDR
 		}
 	}
 
-	// Commit and refresh: the merged result becomes the host truth, and every
-	// device's copy is refreshed so the next kernel may run anywhere. The
-	// refreshes are not waited on — each in-order device queue sequences them
-	// before that device's next chunk launch, overlapping transfer with any
-	// host-side work (§5.5 generalized).
+	// A launch that trusted stale device copies under a full-overwrite
+	// certificate must additionally prove the overwrite happened: any
+	// unwritten byte would have let stale device data masquerade as
+	// computed results through the diff-merge. The dynamic write hull must
+	// cover the whole buffer (the same post-hoc check the twin runtime
+	// applies to its stale-upload elision).
 	for _, o := range outs {
-		copy(o.b.host, o.res)
-		snap := append([]byte(nil), o.b.host...)
-		for di, q := range r.qs {
-			q.EnqueueWriteBufferTagged(o.b.bufs[di], snap, "refresh")
+		if !o.staleShip || o.idx >= len(dyn.WrLo) {
+			continue
 		}
+		if dyn.ParamWriteMask&(1<<uint(o.idx)) == 0 ||
+			int(dyn.WrLo[o.idx]) != 0 || int(dyn.WrHi[o.idx]) < o.b.Size {
+			r.deferredErr = fmt.Errorf("core: kernel %q: buffer %q: full-overwrite certificate elided a delta refresh but the dynamic writes covered only bytes [%d,%d) of %d",
+				k.Name, k.Info.Kernel.Params[o.idx].Name, dyn.WrLo[o.idx], dyn.WrHi[o.idx], o.b.Size)
+			return r.deferredErr
+		}
+	}
+
+	// Commit: the merges already folded every changed run into the host
+	// shadow, which now is the truth for the next kernel. Instead of
+	// rebroadcasting it, the planner only books what each device is
+	// missing: a device's own runs are current there (owner-skip), every
+	// other changed run joins its pending set, and a device whose pending
+	// set stayed empty remains version-current — its refresh is skipped
+	// entirely. The deltas themselves are flushed lazily by the next kernel
+	// that touches the buffer on that device, pipelined on its in-order
+	// queue ahead of the chunk launches (§5.5 generalized).
+	for _, o := range outs {
+		b := o.b
+		if !o.dirty.empty() {
+			b.ver++
+		}
+		for di := range r.devs {
+			b.pend[di].subtract(&o.own[di])
+			added := b.pend[di].addSetMinus(&o.dirty, &o.own[di])
+			b.pend[di].capSpans()
+			skipped := int64(b.Size - added)
+			r.countRefreshBytesSkipped(skipped)
+			rep.RefreshBytesSkipped += skipped
+			if b.pend[di].empty() {
+				b.devVer[di] = b.ver
+			}
+		}
+		r.putOut(o)
 	}
 	rep.End = p.Now()
 	return nil
@@ -499,7 +685,7 @@ func (r *TopoRuntime) shipChunk(di, kid, lo, hi int, nd vm.NDRange, k *TopoKerne
 			continue
 		}
 		o := o
-		data := make([]byte, end-off)
+		data := r.bp.get(end - off)
 		ev := r.qs[di].EnqueueReadBufferAtTagged(o.b.bufs[di], off, data, "ship")
 		wg.Add(1)
 		r.Env.Go(fmt.Sprintf("topo-ship-d%d-k%d-lo%d", di, kid, lo), func(mp *sim.Proc) {
@@ -509,16 +695,14 @@ func (r *TopoRuntime) shipChunk(di, kid, lo, hi int, nd vm.NDRange, k *TopoKerne
 			// pre-kernel snapshot was computed by this chunk; equal words are
 			// either untouched or recomputed identically elsewhere. Hull
 			// over-approximation is safe: bytes inside the window that this
-			// chunk did not write still hold pre-kernel data on the device,
-			// which compares equal to orig.
-			orig, res := o.orig, o.res
-			for w := 0; w+4 <= len(data); w += 4 {
-				b := off + w
-				if data[w] != orig[b] || data[w+1] != orig[b+1] ||
-					data[w+2] != orig[b+2] || data[w+3] != orig[b+3] {
-					copy(res[b:b+4], data[w:w+4])
-				}
-			}
+			// chunk did not write still hold pre-kernel data on the device —
+			// the flush at kernel start made the device copy current — which
+			// compares equal to orig. Changed runs land directly in the host
+			// shadow and feed the delta-refresh planner's dirty/own sets;
+			// merge procs run one at a time in the cooperative engine, so no
+			// locking is needed and the merge order is deterministic.
+			diffMergeChunk(data, o.orig, o.b.host, off, o.exact, &o.dirty, &o.own[di])
+			r.bp.put(data)
 		})
 	}
 	return nil
@@ -529,10 +713,28 @@ func (r *TopoRuntime) shipChunk(di, kid, lo, hi int, nd vm.NDRange, k *TopoKerne
 // Counters returns this runtime's elision counters.
 func (r *TopoRuntime) Counters() Counters {
 	return Counters{
-		ShipBytesSkipped: atomic.LoadInt64(&r.ctr.ShipBytesSkipped),
-		MergeWordsElided: atomic.LoadInt64(&r.ctr.MergeWordsElided),
-		SplitsUnvetoed:   atomic.LoadInt64(&r.ctr.SplitsUnvetoed),
+		UploadsSkipped:      atomic.LoadInt64(&r.ctr.UploadsSkipped),
+		ShipBytesSkipped:    atomic.LoadInt64(&r.ctr.ShipBytesSkipped),
+		MergeWordsElided:    atomic.LoadInt64(&r.ctr.MergeWordsElided),
+		SplitsUnvetoed:      atomic.LoadInt64(&r.ctr.SplitsUnvetoed),
+		RefreshBytesSkipped: atomic.LoadInt64(&r.ctr.RefreshBytesSkipped),
+		RefreshDeltas:       atomic.LoadInt64(&r.ctr.RefreshDeltas),
 	}
+}
+
+func (r *TopoRuntime) countUploadSkipped() {
+	atomic.AddInt64(&r.ctr.UploadsSkipped, 1)
+	atomic.AddInt64(&globalCounters.UploadsSkipped, 1)
+}
+
+func (r *TopoRuntime) countRefreshBytesSkipped(n int64) {
+	atomic.AddInt64(&r.ctr.RefreshBytesSkipped, n)
+	atomic.AddInt64(&globalCounters.RefreshBytesSkipped, n)
+}
+
+func (r *TopoRuntime) countRefreshDelta() {
+	atomic.AddInt64(&r.ctr.RefreshDeltas, 1)
+	atomic.AddInt64(&globalCounters.RefreshDeltas, 1)
 }
 
 func (r *TopoRuntime) countShipBytesSkipped(n int64) {

@@ -94,8 +94,14 @@ type KernelReport struct {
 	VariantUsed int
 	// DeviceWGs is the per-device work-group count, indexed by topology
 	// device position (N-way runtime only; nil for the twin runtime).
-	DeviceWGs  []int
-	Start, End sim.Time
+	DeviceWGs []int
+	// Delta-refresh planner activity (N-way runtime only): RefreshDeltas
+	// counts the delta flushes this kernel's prologue enqueued to bring
+	// stale device copies current; RefreshBytesSkipped counts the bytes its
+	// commit did not rebroadcast relative to a full per-device refresh.
+	RefreshDeltas       int64
+	RefreshBytesSkipped int64
+	Start, End          sim.Time
 }
 
 // Runtime is a FluidiCL instance bound to one CPU and one GPU device.

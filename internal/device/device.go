@@ -397,7 +397,7 @@ func (q *Queue) serve(p *sim.Proc) {
 			}
 			q.dev.link.Release()
 			t2 := p.Now()
-			q.dev.Env.Meter.TransferEnd(q.dev.mi, t1-t0, t2-t1, c.Bytes, c.ToDevice)
+			q.dev.Env.Meter.TransferEnd(q.dev.mi, t1-t0, t2-t1, c.Bytes, c.ToDevice, c.Label == "refresh")
 			if rec := q.dev.Env.Trace; rec != nil {
 				q.dev.recordTransfer(rec, c, t0, t1, t2)
 			}

@@ -234,6 +234,46 @@ func (q *CommandQueue) EnqueueWriteBufferAtTagged(b *Buffer, off int, src []byte
 	return t.Done
 }
 
+// Span is a half-open [Off, End) byte range of a buffer, used by scatter
+// writes (EnqueueWriteBufferSpansTagged).
+type Span struct {
+	Off, End int
+}
+
+// EnqueueWriteBufferSpansTagged copies the given byte ranges of src — a host
+// image indexed in buffer coordinates, so span [Off, End) of the buffer is
+// filled from src[Off:End] — into the device buffer as ONE link transfer
+// whose payload is the sum of the span lengths. This models a driver-batched
+// scatter update: the whole delta pays a single link latency instead of one
+// per range. The N-way delta-refresh planner uses it to bring a stale device
+// copy current. Spans must be sorted, disjoint and in-range; both spans and
+// src are read at transfer-completion time and must stay untouched until the
+// returned event fires.
+func (q *CommandQueue) EnqueueWriteBufferSpansTagged(b *Buffer, spans []Span, src []byte, label string) *sim.Event {
+	total := 0
+	prev := 0
+	for _, s := range spans {
+		if s.Off < prev || s.End > b.Size || s.End > len(src) || s.Off > s.End {
+			panic(fmt.Sprintf("ocl: scatter write span [%d,%d) invalid for %d-byte buffer (prev end %d, src %d)",
+				s.Off, s.End, b.Size, prev, len(src)))
+		}
+		total += s.End - s.Off
+		prev = s.End
+	}
+	t := &device.Transfer{
+		Bytes: total,
+		Apply: func() {
+			for _, s := range spans {
+				copy(b.data[s.Off:s.End], src[s.Off:s.End])
+			}
+		},
+		Label:    label,
+		ToDevice: true,
+	}
+	q.q.Enqueue(t)
+	return t.Done
+}
+
 // EnqueueReadBuffer copies the device buffer into host bytes
 // (clEnqueueReadBuffer). dst is written at transfer-completion time.
 func (q *CommandQueue) EnqueueReadBuffer(b *Buffer, dst []byte) *sim.Event {

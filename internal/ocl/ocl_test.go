@@ -290,3 +290,87 @@ func TestPartialRead(t *testing.T) {
 		}
 	}
 }
+
+// TestScatterWriteSpans exercises the delta-refresh primitive: a spans write
+// must land exactly the listed byte ranges on the device, leave the gaps
+// untouched, and bill the link for ONE transfer whose payload is the sum of
+// the span lengths (single latency for the whole delta).
+func TestScatterWriteSpans(t *testing.T) {
+	env := sim.NewEnv()
+	ctx := NewContext(env, device.New(env, device.TeslaC2070()))
+	const size = 64
+	buf := ctx.CreateBuffer(size)
+	q := ctx.CreateQueue("app")
+
+	base := make([]byte, size)
+	for i := range base {
+		base[i] = 0xEE
+	}
+	src := make([]byte, size)
+	for i := range src {
+		src[i] = byte(i + 1)
+	}
+	spans := []Span{{Off: 4, End: 12}, {Off: 20, End: 21}, {Off: 40, End: 64}}
+	got := make([]byte, size)
+	env.Go("host", func(p *sim.Proc) {
+		p.Wait(q.EnqueueWriteBuffer(buf, base))
+		p.Wait(q.EnqueueWriteBufferSpansTagged(buf, spans, src, "refresh"))
+		p.Wait(q.EnqueueReadBuffer(buf, got))
+	})
+	env.Run()
+
+	want := make([]byte, size)
+	copy(want, base)
+	covered := func(i int) bool {
+		for _, s := range spans {
+			if i >= s.Off && i < s.End {
+				return true
+			}
+		}
+		return false
+	}
+	for i := range want {
+		if covered(i) {
+			want[i] = src[i]
+		}
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("byte %d = %#x, want %#x (covered=%v)", i, got[i], want[i], covered(i))
+		}
+	}
+	sum := env.Meter.Summary().ByKind("GPU")
+	// size (full write) + 8+1+24 (scatter payload); the refresh-labeled part
+	// must also land in the BytesRefresh column.
+	if wantH2D := int64(size + 33); sum.BytesH2D != wantH2D {
+		t.Fatalf("BytesH2D = %d, want %d (scatter payload must be the span-length sum)", sum.BytesH2D, wantH2D)
+	}
+	if sum.BytesRefresh != 33 {
+		t.Fatalf("BytesRefresh = %d, want 33", sum.BytesRefresh)
+	}
+}
+
+// TestScatterWriteSpanValidation: malformed spans (out of order, overlapping
+// or out of range) must panic immediately at enqueue time.
+func TestScatterWriteSpanValidation(t *testing.T) {
+	env := sim.NewEnv()
+	ctx := NewContext(env, device.New(env, device.TeslaC2070()))
+	buf := ctx.CreateBuffer(16)
+	q := ctx.CreateQueue("app")
+	src := make([]byte, 16)
+	for _, bad := range [][]Span{
+		{{Off: 8, End: 12}, {Off: 0, End: 4}}, // out of order
+		{{Off: 0, End: 8}, {Off: 4, End: 12}}, // overlapping
+		{{Off: 0, End: 32}},                   // past buffer end
+		{{Off: 6, End: 2}},                    // reversed
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("spans %v: no panic", bad)
+				}
+			}()
+			q.EnqueueWriteBufferSpansTagged(buf, bad, src, "refresh")
+		}()
+	}
+}

@@ -204,3 +204,28 @@ func TestTopologyElisionCounters(t *testing.T) {
 		t.Fatal("expected narrowed ships to skip bytes on a topology run")
 	}
 }
+
+// TestTopologyDeltaRefreshPlanner pins the delta-refresh planner's effect on
+// a multi-kernel benchmark: chained kernels on a >2-device topology must
+// skip refresh bytes (owner-skip plus unchanged-word elision) and enqueue at
+// least one delta scatter-write, while results stay bit-exact.
+func TestTopologyDeltaRefreshPlanner(t *testing.T) {
+	topo := device.MustParseTopology("2cpu+2gpu")
+	b, err := polybench.ByNameQuick("2MM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sched.RunTopology(topo, b.App, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Verify(res.Outputs); err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.RefreshBytesSkipped == 0 {
+		t.Fatal("multi-kernel topology run skipped no refresh bytes")
+	}
+	if res.Counters.RefreshDeltas == 0 {
+		t.Fatal("multi-kernel topology run enqueued no delta refreshes")
+	}
+}

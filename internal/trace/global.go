@@ -19,6 +19,9 @@ type GlobalSummary struct {
 	LinkWait float64
 	BytesH2D int64
 	BytesD2H int64
+	// BytesRefresh is the subset of BytesH2D carried by "refresh"-tagged
+	// coherence transfers (see DeviceMeter.BytesRefresh).
+	BytesRefresh int64
 }
 
 var global struct {
@@ -42,6 +45,7 @@ func AccumulateGlobal(s Summary) {
 	g.LinkWait += cpu.LinkWait + gpu.LinkWait
 	g.BytesH2D += cpu.BytesH2D + gpu.BytesH2D
 	g.BytesD2H += cpu.BytesD2H + gpu.BytesD2H
+	g.BytesRefresh += cpu.BytesRefresh + gpu.BytesRefresh
 	global.Unlock()
 }
 
@@ -55,16 +59,17 @@ func GlobalSnapshot() GlobalSummary {
 // Sub returns g minus o, for before/after snapshot deltas.
 func (g GlobalSummary) Sub(o GlobalSummary) GlobalSummary {
 	return GlobalSummary{
-		Runs:     g.Runs - o.Runs,
-		CPUBusy:  g.CPUBusy - o.CPUBusy,
-		GPUBusy:  g.GPUBusy - o.GPUBusy,
-		BothBusy: g.BothBusy - o.BothBusy,
-		CPUWGs:   g.CPUWGs - o.CPUWGs,
-		GPUWGs:   g.GPUWGs - o.GPUWGs,
-		LinkBusy: g.LinkBusy - o.LinkBusy,
-		LinkWait: g.LinkWait - o.LinkWait,
-		BytesH2D: g.BytesH2D - o.BytesH2D,
-		BytesD2H: g.BytesD2H - o.BytesD2H,
+		Runs:         g.Runs - o.Runs,
+		CPUBusy:      g.CPUBusy - o.CPUBusy,
+		GPUBusy:      g.GPUBusy - o.GPUBusy,
+		BothBusy:     g.BothBusy - o.BothBusy,
+		CPUWGs:       g.CPUWGs - o.CPUWGs,
+		GPUWGs:       g.GPUWGs - o.GPUWGs,
+		LinkBusy:     g.LinkBusy - o.LinkBusy,
+		LinkWait:     g.LinkWait - o.LinkWait,
+		BytesH2D:     g.BytesH2D - o.BytesH2D,
+		BytesD2H:     g.BytesD2H - o.BytesD2H,
+		BytesRefresh: g.BytesRefresh - o.BytesRefresh,
 	}
 }
 

@@ -20,6 +20,10 @@ type DeviceMeter struct {
 	LinkWait    float64 `json:"link_wait_seconds"`
 	BytesH2D    int64   `json:"bytes_h2d"`
 	BytesD2H    int64   `json:"bytes_d2h"`
+	// BytesRefresh is the subset of BytesH2D carried by "refresh"-tagged
+	// transfers: post-kernel coherence traffic (the N-way delta refresh, or
+	// the old full rebroadcast) as opposed to input uploads and result ships.
+	BytesRefresh int64 `json:"bytes_refresh"`
 }
 
 // Meter is the always-on aggregate accumulator. It lives by value inside
@@ -86,8 +90,10 @@ func (m *Meter) LaunchEnd(i int, start, end float64, executed, skipped, aborted 
 
 // TransferEnd records a completed link transfer on device i: wait seconds
 // spent queued behind other link traffic, busy seconds on the wire, and the
-// payload size. toDevice distinguishes host-to-device from device-to-host.
-func (m *Meter) TransferEnd(i int, wait, busy float64, bytes int, toDevice bool) {
+// payload size. toDevice distinguishes host-to-device from device-to-host;
+// refresh marks post-kernel coherence traffic ("refresh"-labeled transfers)
+// so delta-refresh savings are visible separately from input uploads.
+func (m *Meter) TransferEnd(i int, wait, busy float64, bytes int, toDevice, refresh bool) {
 	if i < 0 {
 		return
 	}
@@ -96,6 +102,9 @@ func (m *Meter) TransferEnd(i int, wait, busy float64, bytes int, toDevice bool)
 	d.LinkBusy += busy
 	if toDevice {
 		d.BytesH2D += int64(bytes)
+		if refresh {
+			d.BytesRefresh += int64(bytes)
+		}
 	} else {
 		d.BytesD2H += int64(bytes)
 	}
@@ -139,6 +148,7 @@ func (s Summary) ByKind(kind string) DeviceMeter {
 		out.LinkWait += d.LinkWait
 		out.BytesH2D += d.BytesH2D
 		out.BytesD2H += d.BytesD2H
+		out.BytesRefresh += d.BytesRefresh
 	}
 	return out
 }
@@ -178,6 +188,7 @@ func (s *Summary) Add(o Summary) {
 				d.LinkWait += od.LinkWait
 				d.BytesH2D += od.BytesH2D
 				d.BytesD2H += od.BytesD2H
+				d.BytesRefresh += od.BytesRefresh
 				merged = true
 				break
 			}

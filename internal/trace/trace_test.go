@@ -25,7 +25,7 @@ func TestDisabledTracingZeroAllocs(t *testing.T) {
 		rec.Instant(0, "x", 0)
 		m.LaunchBegin(mi, 1)
 		m.LaunchEnd(mi, 1, 2, 3, 1, 0)
-		m.TransferEnd(mi, 0.1, 0.2, 64, true)
+		m.TransferEnd(mi, 0.1, 0.2, 64, true, false)
 	})
 	if allocs != 0 {
 		t.Fatalf("disabled tracing allocated %v allocs/op, want 0", allocs)
@@ -44,7 +44,7 @@ func BenchmarkDisabledTracing(b *testing.B) {
 		rec.Instant(0, "x", 0)
 		m.LaunchBegin(mi, 1)
 		m.LaunchEnd(mi, 1, 2, 3, 1, 0)
-		m.TransferEnd(mi, 0.1, 0.2, 64, false)
+		m.TransferEnd(mi, 0.1, 0.2, 64, false, false)
 	}
 }
 
@@ -167,8 +167,8 @@ func TestMeterOverlap(t *testing.T) {
 func TestMeterTransferDirections(t *testing.T) {
 	var m Meter
 	d := m.AddDevice("gpu", "GPU")
-	m.TransferEnd(d, 1, 2, 100, true)
-	m.TransferEnd(d, 0, 3, 50, false)
+	m.TransferEnd(d, 1, 2, 100, true, true)
+	m.TransferEnd(d, 0, 3, 50, false, false)
 	s := m.Summary().ByKind("GPU")
 	if s.BytesH2D != 100 || s.BytesD2H != 50 {
 		t.Fatalf("bytes H2D=%d D2H=%d, want 100/50", s.BytesH2D, s.BytesD2H)
@@ -185,7 +185,7 @@ func TestGlobalSummaryAccumulate(t *testing.T) {
 	gpu := m.AddDevice("gpu", "GPU")
 	m.LaunchBegin(cpu, 0)
 	m.LaunchEnd(cpu, 0, 3, 6, 0, 0)
-	m.TransferEnd(gpu, 0, 1, 4096, true)
+	m.TransferEnd(gpu, 0, 1, 4096, true, false)
 	AccumulateGlobal(m.Summary())
 	got := GlobalSnapshot().Sub(before)
 	if got.Runs != 1 || got.CPUBusy != 3 || got.CPUWGs != 6 || got.BytesH2D != 4096 {

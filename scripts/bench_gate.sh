@@ -1,8 +1,9 @@
 #!/bin/sh
 # Bench-regression gate: re-run the quick-scale experiment suite and compare
-# each experiment's wall clock against the committed BENCH_03.json baseline
-# (quick-scale suite at the wg backend: like-with-like). BENCH_01.json and
-# BENCH_02.json are the historical interpreter- and closure-era baselines.
+# each experiment's wall clock against the committed BENCH_04.json baseline
+# (quick-scale suite at the wg backend with the delta-refresh planner:
+# like-with-like). BENCH_01.json, BENCH_02.json and BENCH_03.json are the
+# historical interpreter-, closure- and pre-planner-wg-era baselines.
 # Exits non-zero when any experiment regressed past the tolerance.
 #
 #   BENCH_GATE_TOL_PCT   allowed regression, percent (default 25)
@@ -30,4 +31,4 @@ trap 'rm -f "$tmp"' EXIT
 echo "bench_gate: running quick-scale suite (tolerance ${tol}%)..."
 go run ./cmd/fluidibench -quick -backend=wg -jsonout "$tmp" all >/dev/null
 
-go run ./cmd/benchgate -baseline BENCH_03.json -current "$tmp" -tol "$tol" -min "$min" -jsonout "$jsonout"
+go run ./cmd/benchgate -baseline BENCH_04.json -current "$tmp" -tol "$tol" -min "$min" -jsonout "$jsonout"
