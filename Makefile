@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt-check lint lint-json build vet test race bench-smoke bench bench-baseline bench-baseline-wg bench-baseline-closure bench-baseline-interp bench-gate
+.PHONY: check fmt-check lint lint-json build vet test race bench-smoke bench bench-baseline bench-baseline-delta bench-baseline-wg bench-baseline-closure bench-baseline-interp bench-gate
 
 # The fast CI gate: formatting, build, vet, tests, kernel lint, benchmark
 # smoke. The race-detector suite is deliberately NOT in here — it reruns
@@ -47,14 +47,20 @@ bench-smoke:
 bench:
 	$(GO) test -bench . -benchmem -benchtime=3x -run '^$$' .
 
-# Regenerate the BENCH_04.json wall-clock baseline (quick scale, wg backend,
-# delta-refresh transfer planner — what the bench gate now tracks).
-# BENCH_01.json (interpreter era), BENCH_02.json (closure era) and
-# BENCH_03.json (wg era, pre-planner) are the historical baselines each
-# successive engine was measured against; regenerate them with the variants
-# below on intentional changes to those engines.
+# Regenerate the BENCH_05.json wall-clock baseline (quick scale, wg backend
+# with region fusion on — its default — which is what the bench gate now
+# tracks; sparse -jsonout format, zero counters omitted). BENCH_01.json
+# (interpreter era), BENCH_02.json (closure era), BENCH_03.json (wg era,
+# pre-planner) and BENCH_04.json (delta-refresh era, pre-fusion) are the
+# historical baselines each successive engine was measured against;
+# regenerate them with the variants below on intentional changes to those
+# engines.
 bench-baseline:
-	$(GO) run ./cmd/fluidibench -quick -backend=wg -jsonout BENCH_04.json all >/dev/null
+	$(GO) run ./cmd/fluidibench -quick -backend=wg -jsonout BENCH_05.json all >/dev/null
+	@cat BENCH_05.json
+
+bench-baseline-delta:
+	$(GO) run ./cmd/fluidibench -quick -backend=wg -wgfuse off -jsonout BENCH_04.json all >/dev/null
 	@cat BENCH_04.json
 
 bench-baseline-wg:

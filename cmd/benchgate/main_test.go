@@ -1,0 +1,104 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The baseline format changed from dense (every counter present, zeros
+// included — BENCH_01..BENCH_04) to sparse (zero counters omitted —
+// BENCH_05 onward). The gate must read both, since it compares a fresh
+// sparse run against whichever baseline generation is committed.
+const denseFixture = `[
+  {
+    "id": "fig2",
+    "wall_seconds": 1.5,
+    "uploads_skipped": 0,
+    "prime_copies_elided": 0,
+    "ship_bytes_skipped": 0,
+    "merge_words_elided": 0,
+    "fluidicl_runs": 12,
+    "cpu_busy_seconds": 0,
+    "wg_loop_wgs": 0,
+    "wg_fallback_wgs": 0
+  },
+  {
+    "id": "table1",
+    "wall_seconds": 0.25,
+    "uploads_skipped": 3,
+    "fluidicl_runs": 4
+  }
+]`
+
+const sparseFixture = `[
+  {
+    "id": "fig2",
+    "wall_seconds": 1.6,
+    "fluidicl_runs": 12,
+    "wg_fused_blocks": 9,
+    "wg_fused_steps": 180
+  },
+  {
+    "id": "table1",
+    "wall_seconds": 0.24,
+    "uploads_skipped": 3
+  }
+]`
+
+func writeFixture(t *testing.T, name, body string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLoadDenseAndSparse(t *testing.T) {
+	for _, tc := range []struct {
+		name, body string
+		fig2       float64
+		table1     float64
+	}{
+		{"dense", denseFixture, 1.5, 0.25},
+		{"sparse", sparseFixture, 1.6, 0.24},
+	} {
+		walls, order, err := load(writeFixture(t, tc.name+".json", tc.body))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(order) != 2 || order[0] != "fig2" || order[1] != "table1" {
+			t.Fatalf("%s: order = %v", tc.name, order)
+		}
+		if walls["fig2"] != tc.fig2 || walls["table1"] != tc.table1 {
+			t.Fatalf("%s: walls = %v", tc.name, walls)
+		}
+	}
+}
+
+// A sparse current run gated against a dense baseline (and vice versa)
+// must agree on IDs and wall clocks; gate() is exercised end to end by
+// scripts/bench_gate.sh, so here we only pin the cross-format contract the
+// gate depends on: identical ID sets and comparable wall_seconds.
+func TestDenseSparseCrossFormat(t *testing.T) {
+	dw, dOrder, err := load(writeFixture(t, "dense.json", denseFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, sOrder, err := load(writeFixture(t, "sparse.json", sparseFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dOrder) != len(sOrder) {
+		t.Fatalf("ID sets differ: %v vs %v", dOrder, sOrder)
+	}
+	for i, id := range dOrder {
+		if sOrder[i] != id {
+			t.Fatalf("ID order differs at %d: %q vs %q", i, id, sOrder[i])
+		}
+		if dw[id] <= 0 || sw[id] <= 0 {
+			t.Fatalf("%s: non-positive wall clock (dense %v, sparse %v)", id, dw[id], sw[id])
+		}
+	}
+}

@@ -41,12 +41,22 @@ func main() {
 	traceOut := flag.String("trace", "", "run one benchmark under FluidiCL and write a Chrome trace_event JSON file here")
 	dist := flag.Bool("dist", false, "print the per-benchmark CPU/GPU work-distribution table (paper §5.5)")
 	backend := flag.String("backend", "", "work-group execution backend: interp, closure, or wg (default closure, or $FLUIDICL_BACKEND)")
+	wgfuse := flag.String("wgfuse", "", "fused wg block execution: on or off (default on, or $FLUIDICL_WG_FUSE)")
 	topology := flag.String("topology", "", "N-device topology for -trace, -dist and hash, e.g. cpu+gpu, 2cpu+2gpu, 4gpu-bus (default: the paper's cpu+gpu machine)")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
 
 	vm.SetWorkers(*workers)
+	switch *wgfuse {
+	case "":
+	case "on":
+		vm.SetWGFuse(true)
+	case "off":
+		vm.SetWGFuse(false)
+	default:
+		fatal(fmt.Errorf("-wgfuse: want on or off, got %q", *wgfuse))
+	}
 	if *backend != "" {
 		b, err := vm.ParseBackend(*backend)
 		if err != nil {
@@ -190,53 +200,58 @@ func main() {
 type wallEntry struct {
 	ID                string  `json:"id"`
 	WallSeconds       float64 `json:"wall_seconds"`
-	UploadsSkipped    int64   `json:"uploads_skipped"`
-	PrimeCopiesElided int64   `json:"prime_copies_elided"`
-	ShipBytesSkipped  int64   `json:"ship_bytes_skipped"`
-	MergeWordsElided  int64   `json:"merge_words_elided"`
+	UploadsSkipped    int64   `json:"uploads_skipped,omitempty"`
+	PrimeCopiesElided int64   `json:"prime_copies_elided,omitempty"`
+	ShipBytesSkipped  int64   `json:"ship_bytes_skipped,omitempty"`
+	MergeWordsElided  int64   `json:"merge_words_elided,omitempty"`
 	// Delta-refresh planner activity (N-way topology runs): bytes the
 	// planner did not rebroadcast relative to a full per-device refresh,
 	// delta scatter-writes enqueued, and the H2D bytes those deltas carried.
-	RefreshBytesSkipped int64   `json:"refresh_bytes_skipped"`
-	RefreshDeltas       int64   `json:"refresh_deltas"`
-	BytesRefresh        int64   `json:"bytes_refresh"`
-	FluidiCLRuns        int64   `json:"fluidicl_runs"`
-	CPUBusySeconds      float64 `json:"cpu_busy_seconds"`
-	GPUBusySeconds      float64 `json:"gpu_busy_seconds"`
-	BothBusySeconds     float64 `json:"both_busy_seconds"`
-	CPUWGs              int64   `json:"cpu_wgs"`
-	GPUWGs              int64   `json:"gpu_wgs"`
-	LinkBusySeconds     float64 `json:"link_busy_seconds"`
-	BytesH2D            int64   `json:"bytes_h2d"`
-	BytesD2H            int64   `json:"bytes_d2h"`
-	OverlapFrac         float64 `json:"overlap_frac"`
+	RefreshBytesSkipped int64   `json:"refresh_bytes_skipped,omitempty"`
+	RefreshDeltas       int64   `json:"refresh_deltas,omitempty"`
+	BytesRefresh        int64   `json:"bytes_refresh,omitempty"`
+	FluidiCLRuns        int64   `json:"fluidicl_runs,omitempty"`
+	CPUBusySeconds      float64 `json:"cpu_busy_seconds,omitempty"`
+	GPUBusySeconds      float64 `json:"gpu_busy_seconds,omitempty"`
+	BothBusySeconds     float64 `json:"both_busy_seconds,omitempty"`
+	CPUWGs              int64   `json:"cpu_wgs,omitempty"`
+	GPUWGs              int64   `json:"gpu_wgs,omitempty"`
+	LinkBusySeconds     float64 `json:"link_busy_seconds,omitempty"`
+	BytesH2D            int64   `json:"bytes_h2d,omitempty"`
+	BytesD2H            int64   `json:"bytes_d2h,omitempty"`
+	OverlapFrac         float64 `json:"overlap_frac,omitempty"`
 	// VM backend activity: work-groups per execution engine and static
 	// superinstruction coverage of the kernels compiled during the run.
-	ClosureWGs  int64 `json:"closure_wgs"`
-	InterpWGs   int64 `json:"interp_wgs"`
-	FusedInstrs int64 `json:"fused_instrs"`
-	TotalInstrs int64 `json:"total_instrs"`
+	ClosureWGs  int64 `json:"closure_wgs,omitempty"`
+	InterpWGs   int64 `json:"interp_wgs,omitempty"`
+	FusedInstrs int64 `json:"fused_instrs,omitempty"`
+	TotalInstrs int64 `json:"total_instrs,omitempty"`
 	// Whole-work-group compilation coverage: work-groups run by the
 	// lockstep engine vs fallen back, and how many kernels/regions the
 	// compilation pass produced.
-	WGLoopWGs     int64 `json:"wg_loop_wgs"`
-	WGFallbackWGs int64 `json:"wg_fallback_wgs"`
-	WGKernels     int64 `json:"wg_kernels"`
-	WGRegions     int64 `json:"wg_regions"`
+	WGLoopWGs     int64 `json:"wg_loop_wgs,omitempty"`
+	WGFallbackWGs int64 `json:"wg_fallback_wgs,omitempty"`
+	WGKernels     int64 `json:"wg_kernels,omitempty"`
+	WGRegions     int64 `json:"wg_regions,omitempty"`
+	// Region-fusion coverage (DESIGN.md S20): fused blocks and the compiled
+	// instructions they absorbed vs instructions left on per-step dispatch.
+	WGFusedBlocks       int64 `json:"wg_fused_blocks,omitempty"`
+	WGFusedSteps        int64 `json:"wg_fused_steps,omitempty"`
+	WGFuseFallbackSteps int64 `json:"wg_fuse_fallback_steps,omitempty"`
 	// Strided-certificate activity: launches whose CPU work-group splitting
 	// was un-vetoed by the disjointness certificate, work-groups the
 	// certificate admitted to the lockstep engine, and the per-reason
 	// attribution of every wg-backend fallback.
-	SplitsUnvetoed    int64 `json:"splits_unvetoed"`
-	WGStridedWGs      int64 `json:"wg_strided_wgs"`
-	WGCertRejShape    int64 `json:"wg_cert_reject_shape"`
-	WGCertRejAlias    int64 `json:"wg_cert_reject_alias"`
-	WGCertRejNoSum    int64 `json:"wg_cert_reject_no_summary"`
-	WGCertRejLocal    int64 `json:"wg_cert_reject_local_store"`
-	WGCertRejUnkStore int64 `json:"wg_cert_reject_unknown_store"`
-	WGCertRejUnkRead  int64 `json:"wg_cert_reject_unknown_read"`
-	WGCertRejOverlap  int64 `json:"wg_cert_reject_overlap"`
-	WGCertRejBudget   int64 `json:"wg_cert_reject_budget"`
+	SplitsUnvetoed    int64 `json:"splits_unvetoed,omitempty"`
+	WGStridedWGs      int64 `json:"wg_strided_wgs,omitempty"`
+	WGCertRejShape    int64 `json:"wg_cert_reject_shape,omitempty"`
+	WGCertRejAlias    int64 `json:"wg_cert_reject_alias,omitempty"`
+	WGCertRejNoSum    int64 `json:"wg_cert_reject_no_summary,omitempty"`
+	WGCertRejLocal    int64 `json:"wg_cert_reject_local_store,omitempty"`
+	WGCertRejUnkStore int64 `json:"wg_cert_reject_unknown_store,omitempty"`
+	WGCertRejUnkRead  int64 `json:"wg_cert_reject_unknown_read,omitempty"`
+	WGCertRejOverlap  int64 `json:"wg_cert_reject_overlap,omitempty"`
+	WGCertRejBudget   int64 `json:"wg_cert_reject_budget,omitempty"`
 }
 
 func newWallEntry(id string, wall float64, c core.Counters, s trace.GlobalSummary) wallEntry {
@@ -268,6 +283,9 @@ func newWallEntry(id string, wall float64, c core.Counters, s trace.GlobalSummar
 		WGFallbackWGs:       c.WGFallbackWGs,
 		WGKernels:           c.WGKernels,
 		WGRegions:           c.WGRegions,
+		WGFusedBlocks:       c.WGFusedBlocks,
+		WGFusedSteps:        c.WGFusedSteps,
+		WGFuseFallbackSteps: c.WGFuseFallbackSteps,
 		SplitsUnvetoed:      c.SplitsUnvetoed,
 		WGStridedWGs:        c.WGStridedWGs,
 		WGCertRejShape:      c.WGCertRejShape,
@@ -423,7 +441,7 @@ func runDist(quick, csv bool) error {
 		Title: "FluidiCL work distribution and overhead breakdown (paper §5.5)",
 		Note: "per-benchmark FluidiCL run: work-groups executed per device (app kernels only),\n" +
 			"virtual busy and link time, bytes over the links, and compute overlap",
-		Columns: []string{"Benchmark", "CPU-WGs", "GPU-WGs", "CPU-share", "CPU-busy", "GPU-busy", "link-busy", "link-wait", "H2D-KB", "D2H-KB", "overlap", "wg-fb", "wg-reject", "time-ms"},
+		Columns: []string{"Benchmark", "CPU-WGs", "GPU-WGs", "CPU-share", "CPU-busy", "GPU-busy", "link-busy", "link-wait", "H2D-KB", "D2H-KB", "overlap", "wg-fb", "wg-reject", "wg-fused", "fuse-cov", "time-ms"},
 	}
 	for _, b := range benches {
 		before := core.CounterSnapshot()
@@ -459,10 +477,23 @@ func runDist(quick, csv bool) error {
 			fmt.Sprintf("%.0f%%", res.Summary.OverlapFrac()*100),
 			fmt.Sprintf("%d", delta.WGFallbackWGs),
 			dominantReject(delta),
+			fmt.Sprintf("%d", delta.WGFusedBlocks),
+			fuseCoverage(delta),
 			fmt.Sprintf("%.3f", res.Time*1e3))
 	}
 	emit(t, csv)
 	return nil
+}
+
+// fuseCoverage formats the fraction of wg-compiled instructions absorbed
+// into fused block closures, or "-" when the run compiled none (e.g. under
+// a non-lockstep backend).
+func fuseCoverage(c core.Counters) string {
+	tot := c.WGFusedSteps + c.WGFuseFallbackSteps
+	if tot == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f%%", float64(c.WGFusedSteps)/float64(tot)*100)
 }
 
 // dominantReject names the most frequent wg-backend certificate rejection
@@ -496,7 +527,7 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `fluidibench — regenerate the FluidiCL paper's tables and figures
 
 usage:
-  fluidibench [-csv] [-quick] [-workers N] [-parallel N] [-backend interp|closure|wg] [-jsonout F] <experiment>|all
+  fluidibench [-csv] [-quick] [-workers N] [-parallel N] [-backend interp|closure|wg] [-wgfuse on|off] [-jsonout F] <experiment>|all
   fluidibench -trace out.json [-quick] [-topology T] <benchmark>   # Chrome trace_event JSON (chrome://tracing)
   fluidibench -dist [-quick] [-csv] [-topology T]   # work-distribution table (paper §5.5; per-device rows with -topology)
   fluidibench [-quick] [-topology T] hash   # benchmark output hashes (deterministic, topology-invariant)

@@ -346,8 +346,13 @@ func TestGenerativeStridedDifferential(t *testing.T) {
 			}
 		}
 
-		// Backend parity: wg (certified or fallen back) must match interp.
+		// Backend parity: wg (certified or fallen back) must match interp,
+		// with region fusion on (the default; runs first, so the fused jams
+		// see the kernel's cold scratch state) and off. The interpreter is
+		// the referee: both wg modes must reproduce its bytes and Stats
+		// exactly, which also pins fused vs unfused against each other.
 		argsW := mkArgs()
+		vm.SetWGFuse(true)
 		stW, err := kc.ExecLaunch(nd, argsW, vm.ExecOpts{Backend: vm.BackendWG})
 		if err != nil {
 			t.Fatalf("seed %d: wg exec: %v\n%s", seed, err, gk.src)
@@ -357,6 +362,20 @@ func TestGenerativeStridedDifferential(t *testing.T) {
 		}
 		if stI != stW {
 			t.Fatalf("seed %d: wg backend produced different Stats\n%s", seed, gk.src)
+		}
+		argsU := mkArgs()
+		vm.SetWGFuse(false)
+		stU, err := kc.ExecLaunch(nd, argsU, vm.ExecOpts{Backend: vm.BackendWG})
+		vm.SetWGFuse(true)
+		if err != nil {
+			t.Fatalf("seed %d: wg unfused exec: %v\n%s", seed, err, gk.src)
+		}
+		if !bytes.Equal(argsI[0].Buf, argsU[0].Buf) {
+			t.Fatalf("seed %d: unfused wg backend produced different bytes\n%s", seed, gk.src)
+		}
+		if stI != stU {
+			t.Fatalf("seed %d: unfused wg backend produced different Stats\n  interp %+v\n  unfused %+v\n%s",
+				seed, stI, stU, gk.src)
 		}
 	}
 	if exactAgreed == 0 {

@@ -70,6 +70,14 @@ type Counters struct {
 	WGCertRejUnkRead  int64
 	WGCertRejOverlap  int64
 	WGCertRejBudget   int64
+
+	// Region-fusion coverage of the wg engine (vm wgfuse pass), attributed
+	// at wg-compile time: blocks lowered to a single fused closure, the
+	// instructions those blocks cover, and body instructions left on the
+	// per-step fallback path.
+	WGFusedBlocks       int64
+	WGFusedSteps        int64
+	WGFuseFallbackSteps int64
 }
 
 // globalCounters accumulates across every Runtime in the process, so
@@ -106,6 +114,9 @@ func CounterSnapshot() Counters {
 		WGCertRejUnkRead:    b.WGRejects[vm.WGRejUnknownRead],
 		WGCertRejOverlap:    b.WGRejects[vm.WGRejOverlap],
 		WGCertRejBudget:     b.WGRejects[vm.WGRejBudget],
+		WGFusedBlocks:       b.WGFusedBlocks,
+		WGFusedSteps:        b.WGFusedSteps,
+		WGFuseFallbackSteps: b.WGFuseFallbackSteps,
 	}
 }
 
@@ -136,6 +147,9 @@ func (c Counters) Sub(o Counters) Counters {
 		WGCertRejUnkRead:    c.WGCertRejUnkRead - o.WGCertRejUnkRead,
 		WGCertRejOverlap:    c.WGCertRejOverlap - o.WGCertRejOverlap,
 		WGCertRejBudget:     c.WGCertRejBudget - o.WGCertRejBudget,
+		WGFusedBlocks:       c.WGFusedBlocks - o.WGFusedBlocks,
+		WGFusedSteps:        c.WGFusedSteps - o.WGFusedSteps,
+		WGFuseFallbackSteps: c.WGFuseFallbackSteps - o.WGFuseFallbackSteps,
 	}
 }
 

@@ -94,3 +94,54 @@ func TestBackendParityFluidiCL(t *testing.T) {
 		})
 	}
 }
+
+// TestWGFuseParityFluidiCL pins the region-fusion pass (DESIGN.md S20)
+// against the per-step lockstep engine through the whole stack: with the
+// wg backend on both devices, a fused run and an unfused run of every
+// quick-scale Polybench app must produce the same output bytes, the same
+// virtual time, and byte-identical Chrome traces. Fused runs first so the
+// jams execute against cold per-kernel scratch pools, the state in which
+// a mis-reserved columnar log historically diverged.
+func TestWGFuseParityFluidiCL(t *testing.T) {
+	defer vm.SetWGFuse(true)
+	for _, b := range polybench.AllQuick() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			type runOut struct {
+				res   *sched.Result
+				chrom []byte
+			}
+			run := func(fuse bool) runOut {
+				vm.SetWGFuse(fuse)
+				rec := trace.NewRecorder()
+				res, err := sched.RunFluidiCLTraced(sched.DefaultMachine(), b.App,
+					core.Options{Backend: vm.BackendWG}, rec)
+				if err != nil {
+					t.Fatalf("wgfuse=%v: %v", fuse, err)
+				}
+				var buf bytes.Buffer
+				if err := rec.WriteChrome(&buf); err != nil {
+					t.Fatal(err)
+				}
+				return runOut{res, buf.Bytes()}
+			}
+			rf := run(true)
+			ru := run(false)
+			if rf.res.Time != ru.res.Time {
+				t.Errorf("virtual time diverges: fused=%v unfused=%v", rf.res.Time, ru.res.Time)
+			}
+			for name, want := range ru.res.Outputs {
+				if got := rf.res.Outputs[name]; !bytes.Equal(got, want) {
+					t.Errorf("output %q differs between fused and unfused wg", name)
+				}
+			}
+			if err := b.Verify(rf.res.Outputs); err != nil {
+				t.Errorf("fused wg output wrong: %v", err)
+			}
+			if !bytes.Equal(rf.chrom, ru.chrom) {
+				t.Errorf("Chrome traces differ between fused and unfused wg (%d vs %d bytes)",
+					len(rf.chrom), len(ru.chrom))
+			}
+		})
+	}
+}

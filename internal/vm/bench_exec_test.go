@@ -66,6 +66,38 @@ func benchApp(b *testing.B, name string) []benchLaunch {
 	return launches
 }
 
+// benchScatter builds an adversarial strided-scatter launch: every store
+// walks a whole column of a row-major matrix, so consecutive loop
+// iterations touch offsets a full row apart (worst case for the locality
+// tracker) while adjacent work-items touch consecutive columns. The body
+// matches the scatter jam shape, making this the stress case for fused
+// store accounting.
+func benchScatter(b *testing.B) []benchLaunch {
+	b.Helper()
+	const src = `
+__kernel void scatter_columns(__global float* out, int n, int rows) {
+    int g = get_global_id(0);
+    for (int r = 0; r < rows; r++) {
+        out[r * n + g] = 1.0f;
+    }
+}
+`
+	const n, rows = 1024, 64
+	ki, err := clc.FindKernelInfo(src, "scatter_columns")
+	if err != nil {
+		b.Fatal(err)
+	}
+	k, err := vm.Compile(ki)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return []benchLaunch{{
+		k:    k,
+		nd:   vm.NewNDRange1D(n, 64),
+		args: []vm.Arg{vm.BufArg(make([]byte, n*rows*4)), vm.IntArg(n), vm.IntArg(rows)},
+	}}
+}
+
 // BenchmarkExecLaunch runs quick-scale Polybench apps end to end on each
 // backend. Sequential workers so the numbers measure the execution engine,
 // not goroutine scheduling; the acceptance bar is closure >= 1.5x interp on
@@ -73,8 +105,13 @@ func benchApp(b *testing.B, name string) []benchLaunch {
 func BenchmarkExecLaunch(b *testing.B) {
 	vm.SetWorkers(1)
 	defer vm.SetWorkers(0)
-	for _, name := range []string{"SYRK", "GESUMMV", "2MM"} {
-		launches := benchApp(b, name)
+	for _, name := range []string{"SYRK", "GESUMMV", "2MM", "CORR", "SCATTER"} {
+		var launches []benchLaunch
+		if name == "SCATTER" {
+			launches = benchScatter(b)
+		} else {
+			launches = benchApp(b, name)
+		}
 		for _, be := range []vm.Backend{vm.BackendInterp, vm.BackendClosure, vm.BackendWG} {
 			b.Run(name+"/"+be.String(), func(b *testing.B) {
 				b.ReportAllocs()

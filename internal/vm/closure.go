@@ -128,6 +128,14 @@ var backendCtr struct {
 	// having failed); wgRej counts fallbacks per WGReject reason.
 	wgStridedWGs atomic.Int64
 	wgRej        [wgRejCount]atomic.Int64
+
+	// Region-fusion coverage (wgfuse.go), attributed at wg-compile time:
+	// blocks fused into a single jammed closure, the instructions those
+	// blocks cover, and the body instructions left on the per-step
+	// fallback path.
+	wgFusedBlocks       atomic.Int64
+	wgFusedSteps        atomic.Int64
+	wgFuseFallbackSteps atomic.Int64
 }
 
 // BackendCounters is a snapshot of process-wide backend activity.
@@ -159,6 +167,14 @@ type BackendCounters struct {
 	// enum (index WGRejNone is always zero).
 	WGStridedWGs int64
 	WGRejects    [wgRejCount]int64
+
+	// WGFusedBlocks / WGFusedSteps count basic blocks region-fused by the
+	// wg fusion pass (wgfuse.go) and the instructions those blocks cover;
+	// WGFuseFallbackSteps counts body instructions compiled on the
+	// per-step fallback path instead. All attributed at wg-compile time.
+	WGFusedBlocks       int64
+	WGFusedSteps        int64
+	WGFuseFallbackSteps int64
 }
 
 // WGRejectNames returns the reason name for each WGRejects index.
@@ -176,6 +192,10 @@ func BackendSnapshot() BackendCounters {
 		WGRegions:     backendCtr.wgRegions.Load(),
 		WGKernels:     backendCtr.wgKernels.Load(),
 		WGStridedWGs:  backendCtr.wgStridedWGs.Load(),
+
+		WGFusedBlocks:       backendCtr.wgFusedBlocks.Load(),
+		WGFusedSteps:        backendCtr.wgFusedSteps.Load(),
+		WGFuseFallbackSteps: backendCtr.wgFuseFallbackSteps.Load(),
 	}
 	for i := range bc.WGRejects {
 		bc.WGRejects[i] = backendCtr.wgRej[i].Load()

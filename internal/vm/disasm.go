@@ -59,10 +59,14 @@ func (k *Kernel) Disasm() string {
 	// barrier-region entry and a wg-loop suffix at every block the lockstep
 	// engine dispatches as a single banked step sequence.
 	wgLoopAt := map[int]FusedSpan{}
+	wgFuseAt := map[int]FusedSpan{}
 	regionAt := map[int]int{}
 	if k.wg != nil {
 		for _, s := range k.wg.spans {
 			wgLoopAt[s.Start] = s
+		}
+		for _, s := range k.wg.fused {
+			wgFuseAt[s.Start] = s
 		}
 		for ri := range k.wg.regions {
 			regionAt[k.wg.regions[ri].entry] = ri
@@ -79,6 +83,9 @@ func (k *Kernel) Disasm() string {
 		}
 		if s, ok := wgLoopAt[pc]; ok {
 			line = fmt.Sprintf("%s  ; wg.loop (%d instrs)", line, s.Len)
+		}
+		if s, ok := wgFuseAt[pc]; ok {
+			line = fmt.Sprintf("%s  ; wg.fuse (%d instrs)", line, s.Len)
 		}
 		fmt.Fprintf(&b, "%4d  %s\n", pc, line)
 	}

@@ -38,8 +38,13 @@ type wgTerm struct {
 // wblock is one basic block compiled for whole-group execution.
 type wblock struct {
 	start  int
+	body   int   // end of the block body (terminator excluded)
 	nInstr int64 // step-budget charge per work-item
 	steps  []wstep
+	// fsteps, when non-nil, is the region-fused lowering of steps
+	// (wgfuse.go): the whole body jammed into one loop over the work-items.
+	// Dispatched instead of steps while WGFuseEnabled.
+	fsteps []wstep
 	term   wgTerm
 }
 
@@ -69,6 +74,8 @@ type wgProgram struct {
 	regions []wgRegion
 	// spans lists each block as a wg-loop span for disassembly annotation.
 	spans []FusedSpan
+	// fused lists each region-fused block body (wgfuse.go) for disassembly.
+	fused []FusedSpan
 }
 
 // buildWG compiles the whole-work-group program. It requires the closure
@@ -126,6 +133,7 @@ func (k *Kernel) buildWG() {
 
 	wg := &wgProgram{blocks: blocks, leader: leader[:n], spans: spans}
 	wg.buildRegions(code)
+	k.fuseWG(wg)
 	k.wg = wg
 	backendCtr.wgKernels.Add(1)
 	backendCtr.wgRegions.Add(int64(len(wg.regions)))
@@ -158,6 +166,7 @@ func (k *Kernel) buildWBlock(start, end int) *wblock {
 	default:
 		blk.term = wgTerm{kind: wtFall, next: end}
 	}
+	blk.body = bodyEnd
 
 	for pc := start; pc < bodyEnd; {
 		if fn, ln := k.matchWSuper(pc, bodyEnd); fn != nil {

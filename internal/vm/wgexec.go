@@ -91,6 +91,23 @@ type wmach struct {
 	lastB        []int32 // transposed tracker: last offset per (memID, item)
 	seenB        []bool  // lastB validity per (memID, item)
 
+	// Columnar access log (wgfuse.go era). While colMode — the phase is
+	// still uniform, so every dispatch is the full group — each dynamic
+	// global access is recorded as one contiguous column of n offsets
+	// (colBuf[j*n:(j+1)*n], memID in colIDs[j]) instead of n per-item
+	// stream appends. replayCols consumes the columns directly with the
+	// replayFast math; colFlush transposes them into rec the moment any
+	// step needs per-item recording or the phase first partitions, so the
+	// invariant holds: colMode implies rec is empty and the columns, in
+	// order, are exactly every item's program-order access stream.
+	colMode bool
+	colIDs  []int32
+	colBuf  []int32
+
+	// fuse selects the fused block closures (wgfuse.go) for this group;
+	// resolved once at group entry from the FLUIDICL_WG_FUSE knob.
+	fuse bool
+
 	parked    int
 	done      int
 	barrierPC int
@@ -245,11 +262,69 @@ func (m *wmach) popMin() *wgSet {
 }
 
 // recAcc records one global access of item t for the phase-end tracker
-// replay.
+// replay. Steps that record per item force the columnar log out first so
+// the per-item streams stay in program order.
 func (m *wmach) recAcc(t int32, id, off int32) {
 	if id >= 0 {
+		if m.colMode {
+			m.colFlush()
+		}
 		m.rec[t] = append(m.rec[t], wgAcc{id: id, off: off})
 	}
+}
+
+// colReserve grows the columnar log by k columns in one step and returns
+// the index of the first. A caller holding several column subslices MUST
+// reserve them all in one call: a later growth can reallocate the backing
+// array, silently orphaning subslices taken before it (their writes would
+// land in the dead array and the live columns would replay as zeros).
+func (m *wmach) colReserve(k int) int {
+	n := m.n
+	j := len(m.colIDs)
+	need := (j + k) * n
+	if cap(m.colBuf) < need {
+		grown := make([]int32, need, need*2)
+		copy(grown, m.colBuf)
+		m.colBuf = grown
+	} else {
+		m.colBuf = m.colBuf[:need]
+	}
+	return j
+}
+
+// colFor appends a new access column for one dynamic global access of
+// memID id and returns its n-offset slice. Caller fills col[t] for every
+// item before reserving any further column; only valid while colMode.
+func (m *wmach) colFor(id int32) []int32 {
+	n := m.n
+	j := m.colReserve(1)
+	m.colIDs = append(m.colIDs, id)
+	return m.colBuf[j*n : (j+1)*n]
+}
+
+// colFor2 reserves two columns atomically so both subslices stay valid.
+func (m *wmach) colFor2(id1, id2 int32) ([]int32, []int32) {
+	n := m.n
+	j := m.colReserve(2)
+	m.colIDs = append(m.colIDs, id1, id2)
+	return m.colBuf[j*n : (j+1)*n], m.colBuf[(j+1)*n : (j+2)*n]
+}
+
+// colFlush transposes the columnar log into the per-item rec streams and
+// leaves columnar mode. Because every access of the phase so far went to a
+// column, appending the columns in order reconstructs each item's exact
+// program-order stream.
+func (m *wmach) colFlush() {
+	n := m.n
+	for j, id := range m.colIDs {
+		col := m.colBuf[j*n : j*n+n]
+		for t := 0; t < n; t++ {
+			m.rec[t] = append(m.rec[t], wgAcc{id: id, off: col[t]})
+		}
+	}
+	m.colIDs = m.colIDs[:0]
+	m.colBuf = m.colBuf[:0]
+	m.colMode = false
 }
 
 // replay drives the recorded access streams through the memTracker in the
@@ -329,6 +404,62 @@ func (m *wmach) replayFast() {
 	clear(m.seenB)
 }
 
+// replayCols is replayFast over the columnar log: the phase never left
+// columnar mode, so the j-th column already is the j-th access of every
+// item's (identical, static) sequence — the transposed walk runs over the
+// contiguous column instead of indirecting through n per-item slices.
+func (m *wmach) replayCols() {
+	n := m.n
+	if n == 0 {
+		return
+	}
+	for j, idv := range m.colIDs {
+		id := int(idv)
+		base := id * n
+		lastB := m.lastB[base : base+n]
+		seenB := m.seenB[base : base+n]
+		col := m.colBuf[j*n : j*n+n]
+		var seq, rand, warp int64
+		var prevOff int32
+		for t := 0; t < n; t++ {
+			off := col[t]
+			if seenB[t] {
+				d := off - lastB[t]
+				if d < 0 {
+					d = -d
+				}
+				if d <= cacheLineBytes {
+					seq++
+				} else {
+					rand++
+				}
+			} else {
+				rand++
+				seenB[t] = true
+			}
+			lastB[t] = off
+			if t%warpSize == 0 {
+				warp++
+			} else {
+				d := off - prevOff
+				if d < 0 {
+					d = -d
+				}
+				if d > 4 {
+					warp++
+				}
+			}
+			prevOff = off
+		}
+		m.st.SeqBytes += 4 * seq
+		m.st.RandBytes += 4 * rand
+		m.st.WarpTransactions += warp
+	}
+	m.colIDs = m.colIDs[:0]
+	m.colBuf = m.colBuf[:0]
+	clear(m.seenB)
+}
+
 // execWGLockstep executes one certified work-group on the lockstep engine.
 func (k *Kernel) execWGLockstep(nd NDRange, group [3]int, args []Arg, opts ExecOpts, sc *wgScratch) (Stats, error) {
 	backendCtr.wgLoopWGs.Add(1)
@@ -347,6 +478,7 @@ func (k *Kernel) execWGLockstep(nd NDRange, group [3]int, args []Arg, opts ExecO
 	m.st = &m.stat
 	m.def, m.undo = opts.Def, opts.Undo
 	m.maxSteps = maxSteps
+	m.fuse = WGFuseEnabled()
 
 	err := m.runGroup()
 	st := m.stat
@@ -387,6 +519,9 @@ func (m *wmach) runGroup() error {
 	for {
 		m.parked, m.barrierPC = 0, -1
 		m.uniform = true
+		m.colMode = true
+		m.colIDs = m.colIDs[:0]
+		m.colBuf = m.colBuf[:0]
 		s := m.takeSet(entry)
 		for t := 0; t < n; t++ {
 			s.items = append(s.items, int32(t))
@@ -422,7 +557,11 @@ func (m *wmach) runGroup() error {
 					}
 				}
 			}
-			for _, stp := range blk.steps {
+			steps := blk.steps
+			if m.fuse && blk.fsteps != nil {
+				steps = blk.fsteps
+			}
+			for _, stp := range steps {
 				if !stp(m, s.items) {
 					m.freeSet(s)
 					return m.err
@@ -438,11 +577,38 @@ func (m *wmach) runGroup() error {
 				m.push(s)
 			case wtCond:
 				m.stat.Branches += int64(len(s.items))
-				taken := m.takeSet(blk.term.tgt)
-				fall := m.takeSet(blk.term.next)
 				base := int(blk.term.condReg) * n
 				jz := blk.term.jz
 				ib := m.ib
+				if m.full {
+					// Dynamic uniformity scan: when the whole group agrees
+					// on the branch, move the set wholesale. Semantically
+					// identical to partitioning into one non-empty and one
+					// empty set, but skips rebuilding the item list on every
+					// trip around a uniform loop.
+					allZ, allNZ := true, true
+					for _, v := range ib[base : base+n] {
+						if v == 0 {
+							allNZ = false
+						} else {
+							allZ = false
+						}
+						if !allZ && !allNZ {
+							break
+						}
+					}
+					if allZ || allNZ {
+						if allZ == jz {
+							s.pc = blk.term.tgt
+						} else {
+							s.pc = blk.term.next
+						}
+						m.push(s)
+						break
+					}
+				}
+				taken := m.takeSet(blk.term.tgt)
+				fall := m.takeSet(blk.term.next)
 				for _, t := range s.items {
 					if (ib[base+int(t)] == 0) == jz {
 						taken.items = append(taken.items, t)
@@ -451,6 +617,9 @@ func (m *wmach) runGroup() error {
 					}
 				}
 				if len(taken.items) > 0 && len(fall.items) > 0 {
+					if m.colMode {
+						m.colFlush()
+					}
 					m.uniform = false
 				}
 				m.freeSet(s)
@@ -475,7 +644,11 @@ func (m *wmach) runGroup() error {
 			return m.err
 		}
 		if m.uniform {
-			m.replayFast()
+			if m.colMode {
+				m.replayCols()
+			} else {
+				m.replayFast()
+			}
 		} else {
 			m.replay()
 		}

@@ -1,0 +1,48 @@
+package vm_test
+
+import (
+	"testing"
+
+	"fluidicl/internal/clc"
+	"fluidicl/internal/polybench"
+	"fluidicl/internal/vm"
+)
+
+// TestWGFuseCountersOnHotKernels pins the region-fusion pass to the hot
+// Polybench kernels: compiling each one must attribute at least one fused
+// block (and its covered instructions) to the backend counters. Coverage
+// regressions — a matcher change that silently stops fusing SYRK's inner
+// product, say — show up here as a zero delta rather than as an unexplained
+// benchmark slowdown. Fallback steps are allowed (not every block matches a
+// jam shape); fused coverage is what must not vanish.
+func TestWGFuseCountersOnHotKernels(t *testing.T) {
+	for _, name := range []string{"SYRK", "GESUMMV", "2MM", "GEMM"} {
+		bm, err := polybench.ByNameQuick(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		app := bm.App
+		compiled := map[string]bool{}
+		for _, l := range app.Launches {
+			if compiled[l.Kernel] {
+				continue
+			}
+			compiled[l.Kernel] = true
+			ki, err := clc.FindKernelInfo(app.Source, l.Kernel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			before := vm.BackendSnapshot()
+			if _, err := vm.Compile(ki); err != nil {
+				t.Fatal(err)
+			}
+			after := vm.BackendSnapshot()
+			blocks := after.WGFusedBlocks - before.WGFusedBlocks
+			steps := after.WGFusedSteps - before.WGFusedSteps
+			if blocks <= 0 || steps <= 0 {
+				t.Errorf("%s %s: compile attributed wg_fused_blocks=%d wg_fused_steps=%d; want both > 0",
+					name, l.Kernel, blocks, steps)
+			}
+		}
+	}
+}

@@ -615,30 +615,74 @@ func (k *Kernel) wstepLoadGlobal(pc int, in Instr, isF bool) wstep {
 		ib := m.ib
 		ab, cb := int(a)*n, int(c)*n
 		buf := m.args[slot].Buf
-		for _, t := range set {
-			off, err := byteOff(ib[cb+int(t)], len(buf))
-			if err != nil {
-				m.err = &execError{m.k.Name, pc, fmt.Sprintf("load %s: %v", name, err)}
-				return false
-			}
-			bits := binary.LittleEndian.Uint32(buf[off:])
-			if d := m.def; d != nil {
-				d.noteRead(slot, off)
-				if v, ok := d.lookup(slot, off); ok {
-					bits = v
-				}
+		cnt := int64(len(set))
+		if m.full && m.def == nil {
+			// Uniform full-group fast path: subslice banks, columnar access
+			// recording, no deferred-write probes.
+			cnt = int64(n)
+			sl := ib[cb : cb+n]
+			rec := m.rec
+			var col []int32
+			if m.colMode && memID >= 0 {
+				col = m.colFor(memID)
 			}
 			if isF {
-				m.fb[ab+int(t)] = float64(math.Float32frombits(bits))
+				rl := m.fb[ab : ab+n]
+				for t := range sl {
+					off, err := byteOff(sl[t], len(buf))
+					if err != nil {
+						m.err = &execError{m.k.Name, pc, fmt.Sprintf("load %s: %v", name, err)}
+						return false
+					}
+					rl[t] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[off:])))
+					if col != nil {
+						col[t] = off
+					} else if memID >= 0 {
+						rec[t] = append(rec[t], wgAcc{id: memID, off: off})
+					}
+				}
 			} else {
-				ib[ab+int(t)] = int64(int32(bits))
+				rl := ib[ab : ab+n]
+				for t := range sl {
+					off, err := byteOff(sl[t], len(buf))
+					if err != nil {
+						m.err = &execError{m.k.Name, pc, fmt.Sprintf("load %s: %v", name, err)}
+						return false
+					}
+					rl[t] = int64(int32(binary.LittleEndian.Uint32(buf[off:])))
+					if col != nil {
+						col[t] = off
+					} else if memID >= 0 {
+						rec[t] = append(rec[t], wgAcc{id: memID, off: off})
+					}
+				}
 			}
-			m.recAcc(t, memID, off)
+		} else {
+			for _, t := range set {
+				off, err := byteOff(ib[cb+int(t)], len(buf))
+				if err != nil {
+					m.err = &execError{m.k.Name, pc, fmt.Sprintf("load %s: %v", name, err)}
+					return false
+				}
+				bits := binary.LittleEndian.Uint32(buf[off:])
+				if d := m.def; d != nil {
+					d.noteRead(slot, off)
+					if v, ok := d.lookup(slot, off); ok {
+						bits = v
+					}
+				}
+				if isF {
+					m.fb[ab+int(t)] = float64(math.Float32frombits(bits))
+				} else {
+					ib[ab+int(t)] = int64(int32(bits))
+				}
+				m.recAcc(t, memID, off)
+			}
 		}
 		st := m.st
 		st.noteGlobalRead(slot)
-		st.GlobalLoads += int64(len(set))
-		st.GlobalLoadBytes += 4 * int64(len(set))
+		st.GlobalLoads += cnt
+		st.GlobalLoadBytes += 4 * cnt
 		return true
 	}
 }
@@ -654,33 +698,72 @@ func (k *Kernel) wstepStoreGlobal(pc int, in Instr, isF bool) wstep {
 		ab, cb := int(a)*n, int(c)*n
 		buf := m.args[slot].Buf
 		st := m.st
-		for _, t := range set {
-			off, err := byteOff(ib[cb+int(t)], len(buf))
-			if err != nil {
-				m.err = &execError{m.k.Name, pc, fmt.Sprintf("store %s: %v", name, err)}
-				return false
+		cnt := int64(len(set))
+		if m.full && m.def == nil {
+			// Uniform full-group fast path: subslice banks, columnar access
+			// recording; the undo log is handled inline.
+			cnt = int64(n)
+			sl := ib[cb : cb+n]
+			rec := m.rec
+			var col []int32
+			if m.colMode && memID >= 0 {
+				col = m.colFor(memID)
 			}
-			var bits uint32
-			if isF {
-				bits = math.Float32bits(float32(m.fb[ab+int(t)]))
-			} else {
-				bits = uint32(int32(ib[ab+int(t)]))
-			}
-			if d := m.def; d != nil {
-				d.store(slot, off, bits)
-			} else {
-				if u := m.undo; u != nil {
+			u := m.undo
+			for t := range sl {
+				off, err := byteOff(sl[t], len(buf))
+				if err != nil {
+					m.err = &execError{m.k.Name, pc, fmt.Sprintf("store %s: %v", name, err)}
+					return false
+				}
+				var bits uint32
+				if isF {
+					bits = math.Float32bits(float32(m.fb[ab+t]))
+				} else {
+					bits = uint32(int32(ib[ab+t]))
+				}
+				if u != nil {
 					var old [4]byte
 					copy(old[:], buf[off:off+4])
 					u.recs = append(u.recs, UndoRecord{Buf: buf, Off: int(off), Old: old})
 				}
 				binary.LittleEndian.PutUint32(buf[off:], bits)
+				st.noteGlobalWrite(slot, off)
+				if col != nil {
+					col[t] = off
+				} else if memID >= 0 {
+					rec[t] = append(rec[t], wgAcc{id: memID, off: off})
+				}
 			}
-			st.noteGlobalWrite(slot, off)
-			m.recAcc(t, memID, off)
+		} else {
+			for _, t := range set {
+				off, err := byteOff(ib[cb+int(t)], len(buf))
+				if err != nil {
+					m.err = &execError{m.k.Name, pc, fmt.Sprintf("store %s: %v", name, err)}
+					return false
+				}
+				var bits uint32
+				if isF {
+					bits = math.Float32bits(float32(m.fb[ab+int(t)]))
+				} else {
+					bits = uint32(int32(ib[ab+int(t)]))
+				}
+				if d := m.def; d != nil {
+					d.store(slot, off, bits)
+				} else {
+					if u := m.undo; u != nil {
+						var old [4]byte
+						copy(old[:], buf[off:off+4])
+						u.recs = append(u.recs, UndoRecord{Buf: buf, Off: int(off), Old: old})
+					}
+					binary.LittleEndian.PutUint32(buf[off:], bits)
+				}
+				st.noteGlobalWrite(slot, off)
+				m.recAcc(t, memID, off)
+			}
 		}
-		st.GlobalStores += int64(len(set))
-		st.GlobalStoreBytes += 4 * int64(len(set))
+		st.GlobalStores += cnt
+		st.GlobalStoreBytes += 4 * cnt
 		return true
 	}
 }
@@ -1035,6 +1118,10 @@ func (k *Kernel) wsuperAffLoad(pc int, withFMul, withFAdd bool) wstep {
 				rg, sg, tg = fb[ga*n:ga*n+n], fb[gb*n:gb*n+n], fb[gc*n:gc*n+n]
 			}
 			rec := m.rec
+			var col []int32
+			if m.colMode && memID >= 0 {
+				col = m.colFor(memID)
+			}
 			for t := range r0 {
 				r0[t] = s0[t]
 				r1[t] = s1[t]
@@ -1048,7 +1135,9 @@ func (k *Kernel) wsuperAffLoad(pc int, withFMul, withFAdd bool) wstep {
 					return false
 				}
 				rl[t] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[off:])))
-				if memID >= 0 {
+				if col != nil {
+					col[t] = int32(off)
+				} else if memID >= 0 {
 					rec[t] = append(rec[t], wgAcc{id: memID, off: int32(off)})
 				}
 				if withFMul {
@@ -1132,6 +1221,10 @@ func (k *Kernel) wsuperLoadFMul(pc int) wstep {
 			rl := fb[la*n : la*n+n]
 			rf, sf, tf := fb[fa*n:fa*n+n], fb[fbr*n:fbr*n+n], fb[fc*n:fc*n+n]
 			rec := m.rec
+			var col []int32
+			if m.colMode && memID >= 0 {
+				col = m.colFor(memID)
+			}
 			for t := range sl {
 				idx := sl[t]
 				off := idx * 4
@@ -1140,7 +1233,9 @@ func (k *Kernel) wsuperLoadFMul(pc int) wstep {
 					return false
 				}
 				rl[t] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[off:])))
-				if memID >= 0 {
+				if col != nil {
+					col[t] = int32(off)
+				} else if memID >= 0 {
 					rec[t] = append(rec[t], wgAcc{id: memID, off: int32(off)})
 				}
 				rf[t] = float64(float32(sf[t]) * float32(tf[t]))

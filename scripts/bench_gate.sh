@@ -1,9 +1,9 @@
 #!/bin/sh
 # Bench-regression gate: re-run the quick-scale experiment suite and compare
-# each experiment's wall clock against the committed BENCH_04.json baseline
-# (quick-scale suite at the wg backend with the delta-refresh planner:
-# like-with-like). BENCH_01.json, BENCH_02.json and BENCH_03.json are the
-# historical interpreter-, closure- and pre-planner-wg-era baselines.
+# each experiment's wall clock against the committed BENCH_05.json baseline
+# (quick-scale suite at the wg backend with region fusion on, its default:
+# like-with-like). BENCH_01.json through BENCH_04.json are the historical
+# interpreter-, closure-, pre-planner-wg- and pre-fusion-era baselines.
 # Exits non-zero when any experiment regressed past the tolerance.
 #
 #   BENCH_GATE_TOL_PCT   allowed regression, percent (default 25)
@@ -31,4 +31,4 @@ trap 'rm -f "$tmp"' EXIT
 echo "bench_gate: running quick-scale suite (tolerance ${tol}%)..."
 go run ./cmd/fluidibench -quick -backend=wg -jsonout "$tmp" all >/dev/null
 
-go run ./cmd/benchgate -baseline BENCH_04.json -current "$tmp" -tol "$tol" -min "$min" -jsonout "$jsonout"
+go run ./cmd/benchgate -baseline BENCH_05.json -current "$tmp" -tol "$tol" -min "$min" -jsonout "$jsonout"
